@@ -1,0 +1,130 @@
+// Figures 1-3 — the machine model illustrations.
+//
+// Figure 1: a mesh computer of size n (square lattice, bidirectional row and
+// column links).  Figure 2: the four indexing schemes for a mesh of size 16.
+// Figure 3: a hypercube of size 16 with its Gray-code string order.  This
+// bench regenerates the figures as text, validates the structural claims of
+// Sections 2.2-2.3 (communication diameters, adjacency of consecutive PEs,
+// recursive submesh/subcube decomposition), and benchmarks topology
+// construction (the pattern-cost precomputation).
+#include <set>
+
+#include "common.hpp"
+#include "machine/topology.hpp"
+
+namespace dyncg {
+namespace bench {
+namespace {
+
+void print_figures() {
+  std::printf("=== Figure 1: mesh of size 16 (links: - and |) ===\n");
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    std::printf("  ");
+    for (std::uint32_t c = 0; c < 4; ++c) {
+      std::printf("[%2u]%s", r * 4 + c, c < 3 ? "-" : "");
+    }
+    std::printf("\n");
+    if (r < 3) std::printf("    |    |    |    |\n");
+  }
+
+  std::printf("\n=== Figure 2: indexing schemes for a mesh of size 16 ===\n");
+  for (MeshOrder order :
+       {MeshOrder::kRowMajor, MeshOrder::kShuffledRowMajor, MeshOrder::kSnake,
+        MeshOrder::kProximity}) {
+    std::printf("(%s)\n", to_string(order));
+    for (std::uint32_t r = 0; r < 4; ++r) {
+      std::printf("  ");
+      for (std::uint32_t c = 0; c < 4; ++c) {
+        std::printf("%3llu", static_cast<unsigned long long>(
+                                 mesh_rc_to_rank(order, 4, RowCol{r, c})));
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\n=== Figure 3: hypercube of size 16, Gray-code order ===\n");
+  HypercubeTopology cube(4);
+  std::printf("  rank -> node: ");
+  for (std::size_t r = 0; r < 16; ++r) {
+    std::printf("%zu%s", cube.node_of_rank(r), r + 1 < 16 ? " " : "\n");
+  }
+
+  std::printf("\n=== Section 2.2/2.3 structural claims ===\n");
+  MeshTopology mesh(16);  // 256 PEs
+  std::printf("  mesh 16x16 communication diameter: %zu (claim 2(n^1/2 - 1) "
+              "= 30)\n", mesh.diameter());
+  bool prox_adj = true;
+  for (std::size_t r = 0; r + 1 < mesh.size(); ++r) {
+    prox_adj &= mesh.adjacent(mesh.node_of_rank(r), mesh.node_of_rank(r + 1));
+  }
+  std::printf("  proximity order: consecutive PEs adjacent: %s\n",
+              prox_adj ? "yes" : "NO");
+  // Recursive submesh property for all four aligned quarters.
+  bool submesh_ok = true;
+  for (int q = 0; q < 4; ++q) {
+    std::set<std::pair<std::size_t, std::size_t>> quads;
+    for (std::size_t r = static_cast<std::size_t>(q) * 64; r < static_cast<std::size_t>(q + 1) * 64; ++r) {
+      std::size_t node = mesh.node_of_rank(r);
+      quads.insert({node / 16 / 8, node % 16 / 8});
+    }
+    submesh_ok &= quads.size() == 1;
+  }
+  std::printf("  proximity order: aligned quarters form submeshes: %s\n",
+              submesh_ok ? "yes" : "NO");
+
+  HypercubeTopology big(10);
+  std::printf("  hypercube 2^10 communication diameter: %zu (claim log2 n "
+              "= 10)\n", big.diameter());
+  bool gray_adj = true;
+  for (std::size_t r = 0; r + 1 < big.size(); ++r) {
+    gray_adj &= big.adjacent(big.node_of_rank(r), big.node_of_rank(r + 1));
+  }
+  std::printf("  Gray order: consecutive PEs adjacent: %s\n",
+              gray_adj ? "yes" : "NO");
+  // Subcube property: each aligned half of the Gray order is a subcube.
+  bool subcube_ok = true;
+  for (int half = 0; half < 2; ++half) {
+    std::size_t fixed_mask = big.size() / 2;
+    std::size_t want = static_cast<std::size_t>(half) == 0 ? 0 : fixed_mask;
+    std::size_t seen_fixed = big.node_of_rank(half * (big.size() / 2)) & fixed_mask;
+    for (std::size_t r = static_cast<std::size_t>(half) * big.size() / 2;
+         r < (static_cast<std::size_t>(half) + 1) * big.size() / 2; ++r) {
+      subcube_ok &= (big.node_of_rank(r) & fixed_mask) == seen_fixed;
+    }
+    (void)want;
+  }
+  std::printf("  Gray order: aligned halves form subcubes: %s\n",
+              subcube_ok ? "yes" : "NO");
+}
+
+void BM_TopologyConstruction(benchmark::State& state) {
+  bool mesh = state.range(0) == 0;
+  std::size_t n = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    if (mesh) {
+      MeshTopology t(static_cast<std::uint32_t>(std::sqrt(static_cast<double>(n))));
+      benchmark::DoNotOptimize(t.diameter());
+    } else {
+      HypercubeTopology t(static_cast<std::uint32_t>(std::log2(static_cast<double>(n))));
+      benchmark::DoNotOptimize(t.diameter());
+    }
+  }
+  state.SetLabel(mesh ? "mesh" : "hypercube");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dyncg
+
+int main(int argc, char** argv) {
+  dyncg::bench::print_figures();
+  for (long mesh = 0; mesh < 2; ++mesh) {
+    benchmark::RegisterBenchmark("Fig123/topology_construction",
+                                 dyncg::bench::BM_TopologyConstruction)
+        ->Args({mesh, 4096})
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

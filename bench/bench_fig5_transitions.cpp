@@ -1,0 +1,100 @@
+// Figure 5 — partial functions with jump discontinuities and transitions.
+//
+// The hull-membership algorithm's G_j / B_j angle functions (Section 4.2)
+// are exactly the paper's motivating example of partial functions: G_j is
+// defined only while P_j sits on or above the query point, so it has up to
+// k transitions (roots of y_j - y_0).  This bench regenerates the figure's
+// phenomenon from a real system: it prints the defined intervals of the
+// G-family, checks the Lemma 3.3 piece bound lambda(n, s + 2k) on the
+// partial envelopes, and measures the Theorem 3.4 construction.
+#include "common.hpp"
+#include "dyncg/hull_membership.hpp"
+#include "support/ackermann.hpp"
+
+namespace dyncg {
+namespace bench {
+namespace {
+
+void print_figure5() {
+  std::printf("=== Figure 5: transitions of the partial angle functions "
+              "===\n");
+  // Three points crossing the query's horizontal line at staggered times.
+  std::vector<Trajectory> pts;
+  pts.push_back(Trajectory::fixed({0.0, 0.0}));  // query
+  pts.push_back(Trajectory({Polynomial({1.0}), Polynomial({2.0, -1.0})}));
+  pts.push_back(Trajectory(
+      {Polynomial({-1.0}), Polynomial::from_roots({1.0, 4.0})}));
+  pts.push_back(Trajectory({Polynomial({0.5, 0.2}), Polynomial({-3.0, 1.0})}));
+  MotionSystem sys(2, std::move(pts));
+  RelativeMotion rel = RelativeMotion::around(sys, 0);
+  AngleFamily g(&rel, true);
+  for (std::size_t j = 0; j < g.size(); ++j) {
+    std::printf("  G_%zu defined on: ", rel.owner[j]);
+    for (const Interval& iv : g.defined_intervals(static_cast<int>(j))) {
+      std::printf("%s ", iv.to_string().c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("  (each boundary is a transition; Figure 5 shows exactly "
+              "this switch between defined and undefined)\n");
+}
+
+void print_partial_envelope_bounds() {
+  std::printf("\n=== Lemma 3.3: pieces of partial envelopes vs lambda(n, "
+              "s + 2k) ===\n");
+  std::printf("%6s %3s %14s %14s %18s\n", "n", "k", "a0 pieces", "d0 pieces",
+              "lambda(n, 4k+2k?)");
+  for (int k : {1, 2}) {
+    for (std::size_t n : {8u, 16u, 32u, 64u}) {
+      MotionSystem sys = workload(n * 13 + static_cast<std::size_t>(k), n, 2, k);
+      RelativeMotion rel = RelativeMotion::around(sys, 0);
+      AngleFamily gfam(&rel, true), bfam(&rel, false);
+      Machine m = hull_membership_machine_mesh(sys);
+      PiecewiseFn a0 = parallel_envelope(m, gfam, 4 * k, true);
+      PiecewiseFn d0 = parallel_envelope(m, bfam, 4 * k, false);
+      std::uint64_t bound = lambda_upper_bound(n, 4 * k);
+      std::printf("%6zu %3d %14zu %14zu %18llu%s\n", n, k, a0.piece_count(),
+                  d0.piece_count(),
+                  static_cast<unsigned long long>(bound),
+                  (a0.piece_count() <= bound && d0.piece_count() <= bound)
+                      ? ""
+                      : "  VIOLATION");
+    }
+  }
+}
+
+void BM_Theorem34(benchmark::State& state) {
+  bool mesh = state.range(0) == 0;
+  std::size_t n = static_cast<std::size_t>(state.range(1));
+  MotionSystem sys = workload(n * 13 + 1, n, 2, 2);
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Machine m = mesh ? hull_membership_machine_mesh(sys)
+                     : hull_membership_machine_hypercube(sys);
+    RelativeMotion rel = RelativeMotion::around(sys, 0);
+    AngleFamily gfam(&rel, true);
+    CostMeter meter(m.ledger());
+    parallel_envelope(m, gfam, 8, true);
+    rounds = meter.elapsed().rounds;
+  }
+  state.counters["sim_rounds"] = static_cast<double>(rounds);
+  state.SetLabel(mesh ? "Theorem 3.4 mesh" : "Theorem 3.4 hypercube");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dyncg
+
+int main(int argc, char** argv) {
+  dyncg::bench::print_figure5();
+  dyncg::bench::print_partial_envelope_bounds();
+  for (long mesh = 0; mesh < 2; ++mesh) {
+    benchmark::RegisterBenchmark("Fig5/theorem34", dyncg::bench::BM_Theorem34)
+        ->Args({mesh, 64})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

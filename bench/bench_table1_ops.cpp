@@ -1,0 +1,175 @@
+// Table 1 — "Running times of data movement operations".
+//
+// Paper rows: semigroup computation, broadcast, parallel prefix, merge,
+// sort, concurrent read/write, grouping; claims Theta(n^(1/2)) on the mesh
+// and Theta(log n) (Theta(log^2 n) for sort/CRCW worst case) on the
+// hypercube.  This bench measures simulator rounds for every op over an n
+// sweep on both topologies and fits the growth exponents.
+#include "common.hpp"
+#include "ops/basic.hpp"
+#include "ops/crcw.hpp"
+#include "ops/sorting.hpp"
+
+namespace dyncg {
+namespace bench {
+namespace {
+
+using Runner = std::uint64_t (*)(Machine&);
+
+std::uint64_t run_reduce(Machine& m) {
+  std::vector<long> v(m.size(), 1);
+  CostMeter meter(m.ledger());
+  ops::reduce(m, v, std::plus<long>{});
+  return meter.elapsed().rounds;
+}
+
+std::uint64_t run_broadcast(Machine& m) {
+  std::vector<long> v(m.size(), 0);
+  v[m.size() / 3] = 7;
+  CostMeter meter(m.ledger());
+  ops::broadcast(m, v, m.size() / 3);
+  return meter.elapsed().rounds;
+}
+
+std::uint64_t run_prefix(Machine& m) {
+  std::vector<long> v(m.size(), 1);
+  CostMeter meter(m.ledger());
+  ops::prefix(m, v, std::plus<long>{});
+  return meter.elapsed().rounds;
+}
+
+std::uint64_t run_merge(Machine& m) {
+  std::vector<long> v(m.size());
+  for (std::size_t r = 0; r < m.size(); ++r) {
+    v[r] = static_cast<long>(2 * (r % (m.size() / 2)) + r / (m.size() / 2));
+  }
+  CostMeter meter(m.ledger());
+  ops::bitonic_merge(m, v);
+  return meter.elapsed().rounds;
+}
+
+std::uint64_t run_sort(Machine& m) {
+  Rng rng(m.size());
+  std::vector<long> v(m.size());
+  for (long& x : v) x = rng.uniform_int(0, 1 << 20);
+  CostMeter meter(m.ledger());
+  ops::bitonic_sort(m, v);
+  return meter.elapsed().rounds;
+}
+
+std::uint64_t run_concurrent_read(Machine& m) {
+  std::size_t P = m.size();
+  std::vector<std::optional<std::pair<long, long>>> data(P);
+  std::vector<std::optional<long>> queries(P);
+  for (std::size_t r = 0; r < P; ++r) {
+    data[r] = std::pair<long, long>{static_cast<long>(r), 1L};
+    queries[r] = static_cast<long>((3 * r + 1) % P);
+  }
+  CostMeter meter(m.ledger());
+  ops::concurrent_read<long, long>(m, data, queries);
+  return meter.elapsed().rounds;
+}
+
+std::uint64_t run_concurrent_write(Machine& m) {
+  std::size_t P = m.size();
+  std::vector<std::optional<std::pair<long, long>>> reqs(P);
+  std::vector<std::optional<long>> owners(P);
+  for (std::size_t r = 0; r < P; ++r) {
+    reqs[r] = std::pair<long, long>{static_cast<long>(r % 16), 1L};
+    owners[r] = static_cast<long>(r);
+  }
+  CostMeter meter(m.ledger());
+  ops::concurrent_write<long, long>(m, reqs, owners,
+                                    [](long a, long b) { return a + b; });
+  return meter.elapsed().rounds;
+}
+
+std::uint64_t run_grouping(Machine& m) {
+  // Grouping = simultaneous ordered searches: predecessor reads.
+  std::size_t P = m.size();
+  std::vector<std::optional<std::pair<long, long>>> data(P);
+  std::vector<std::optional<long>> queries(P);
+  for (std::size_t r = 0; r < P / 2; ++r) {
+    data[r] = std::pair<long, long>{static_cast<long>(10 * r), static_cast<long>(r)};
+  }
+  for (std::size_t r = P / 2; r < P; ++r) queries[r] = static_cast<long>(5 * r);
+  CostMeter meter(m.ledger());
+  ops::concurrent_read<long, long>(m, data, queries, /*exact_match=*/false);
+  return meter.elapsed().rounds;
+}
+
+struct Op {
+  const char* name;
+  Runner fn;
+  const char* mesh_claim;
+  const char* cube_claim;
+};
+
+const Op kOps[] = {
+    {"semigroup (reduce)", run_reduce, "Theta(n^1/2)", "Theta(log n)"},
+    {"broadcast", run_broadcast, "Theta(n^1/2)", "Theta(log n)"},
+    {"parallel prefix", run_prefix, "Theta(n^1/2)", "Theta(log n)"},
+    {"merge", run_merge, "Theta(n^1/2)", "Theta(log n)"},
+    {"sort (bitonic)", run_sort, "Theta(n^1/2)", "Theta(log^2 n)"},
+    {"concurrent read", run_concurrent_read, "Theta(n^1/2)", "Theta(log^2 n)"},
+    {"concurrent write", run_concurrent_write, "Theta(n^1/2)", "Theta(log^2 n)"},
+    {"grouping", run_grouping, "Theta(n^1/2)", "Theta(log^2 n)"},
+};
+
+void print_tables() {
+  const std::vector<std::size_t> sizes{256, 1024, 4096, 16384, 65536};
+  std::vector<Row> mesh_rows, cube_rows;
+  for (const Op& op : kOps) {
+    Row mr{op.name, {}, {}, op.mesh_claim};
+    Row cr{op.name, {}, {}, op.cube_claim};
+    for (std::size_t n : sizes) {
+      Machine mesh = Machine::mesh_for(n);
+      mr.n.push_back(static_cast<double>(n));
+      mr.rounds.push_back(static_cast<double>(op.fn(mesh)));
+      Machine cube = Machine::hypercube_for(n);
+      cr.n.push_back(static_cast<double>(n));
+      cr.rounds.push_back(static_cast<double>(op.fn(cube)));
+    }
+    mesh_rows.push_back(std::move(mr));
+    cube_rows.push_back(std::move(cr));
+  }
+  print_table("Table 1 / mesh (expect slope ~0.5)", mesh_rows);
+  print_table("Table 1 / hypercube (expect slope ~0: log factors)", cube_rows);
+  std::printf(
+      "\nNote: the hypercube rows grow logarithmically; their log-log slope\n"
+      "against n tends to 0.  Compare rounds/log2(n) or rounds/log2^2(n)\n"
+      "constancy across the sweep instead.\n");
+}
+
+void BM_Op(benchmark::State& state) {
+  const Op& op = kOps[static_cast<std::size_t>(state.range(0))];
+  bool mesh = state.range(1) == 0;
+  std::size_t n = static_cast<std::size_t>(state.range(2));
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Machine m = mesh ? Machine::mesh_for(n) : Machine::hypercube_for(n);
+    rounds = op.fn(m);
+    benchmark::DoNotOptimize(rounds);
+  }
+  state.counters["sim_rounds"] = static_cast<double>(rounds);
+  state.SetLabel(std::string(op.name) + (mesh ? " mesh" : " hypercube"));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dyncg
+
+int main(int argc, char** argv) {
+  dyncg::bench::print_tables();
+  for (long op = 0; op < 8; ++op) {
+    for (long mesh = 0; mesh < 2; ++mesh) {
+      benchmark::RegisterBenchmark("Table1/op", dyncg::bench::BM_Op)
+          ->Args({op, mesh, 1024})
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Table 3 — "Time complexity of solutions to steady-state problems for
+// n-processor machines".
+//
+// Paper rows: nearest neighbor to P0, closest pair, ordered hull vertices,
+// diameter function of a convex polygon, farthest pair, minimal-area
+// enclosing rectangle; all Theta(n^(1/2)) on the mesh and Theta(log^2 n)
+// (expected Theta(log n)) on the hypercube.
+//
+// The hull-based rows run the dual-envelope hull over the rational-germ
+// field (steady/dual_hull.hpp), which keeps them at Theta(sort)-grade cost;
+// bench_ablation_sorts contrasts it with the binary-search-tangent merge
+// that would cost an extra log factor.
+#include "common.hpp"
+#include "steady/dual_hull.hpp"
+#include "steady/machine_geometry.hpp"
+
+namespace dyncg {
+namespace bench {
+namespace {
+
+struct Problem {
+  const char* name;
+  const char* mesh_claim;
+  const char* cube_claim;
+  std::uint64_t (*run)(Machine&, const MotionSystem&);
+};
+
+std::uint64_t run_nn(Machine& m, const MotionSystem& sys) {
+  CostMeter meter(m.ledger());
+  machine_steady_neighbor(m, sys, 0);
+  return meter.elapsed().rounds;
+}
+
+std::uint64_t run_closest(Machine& m, const MotionSystem& sys) {
+  CostMeter meter(m.ledger());
+  machine_steady_closest_pair(m, sys);
+  return meter.elapsed().rounds;
+}
+
+std::uint64_t run_hull(Machine& m, const MotionSystem& sys) {
+  CostMeter meter(m.ledger());
+  machine_steady_hull_ids(m, sys);
+  return meter.elapsed().rounds;
+}
+
+std::uint64_t run_diameter(Machine& m, const MotionSystem& sys) {
+  // Diameter function of a convex polygon: feed the hull vertices only.
+  auto hull = machine_hull_dual(m, germ_field_points(sys));
+  CostMeter meter(m.ledger());
+  machine_antipodal_pairs(m, hull);
+  geom_detail::charge_ladder(m, m.size());
+  return meter.elapsed().rounds;
+}
+
+std::uint64_t run_farthest(Machine& m, const MotionSystem& sys) {
+  CostMeter meter(m.ledger());
+  machine_steady_farthest_pair(m, sys);
+  return meter.elapsed().rounds;
+}
+
+std::uint64_t run_rectangle(Machine& m, const MotionSystem& sys) {
+  CostMeter meter(m.ledger());
+  machine_steady_min_rectangle(m, sys);
+  return meter.elapsed().rounds;
+}
+
+const Problem kProblems[] = {
+    {"steady nearest neighbor to P0 (Prop 5.2)", "Theta(n^1/2)",
+     "Theta(log n)", run_nn},
+    {"steady closest pair (Prop 5.3)", "Theta(n^1/2)", "Theta(log^2 n)",
+     run_closest},
+    {"ordered hull vertices (Prop 5.4)", "Theta(n^1/2)", "Theta(log^2 n)",
+     run_hull},
+    {"diameter fn of convex polygon (Prop 5.6)", "Theta(n^1/2)",
+     "Theta(log^2 n)", run_diameter},
+    {"steady farthest pair (Cor 5.7)", "Theta(n^1/2)", "Theta(log^2 n)",
+     run_farthest},
+    {"min-area enclosing rectangle (Cor 5.9)", "Theta(n^1/2)",
+     "Theta(log^2 n)", run_rectangle},
+};
+
+MotionSystem steady_workload(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  return diverging_motion_system(rng, n, /*k=*/2);
+}
+
+void print_tables() {
+  const std::vector<std::size_t> sizes{16, 64, 256, 1024, 4096};
+  for (int mesh = 1; mesh >= 0; --mesh) {
+    std::vector<Row> rows;
+    for (const Problem& p : kProblems) {
+      Row r{p.name, {}, {}, mesh ? p.mesh_claim : p.cube_claim};
+      for (std::size_t n : sizes) {
+        MotionSystem sys = steady_workload(n * 3 + 5, n);
+        Machine m = mesh ? Machine::mesh_for(n) : Machine::hypercube_for(n);
+        r.n.push_back(static_cast<double>(n));
+        r.rounds.push_back(static_cast<double>(p.run(m, sys)));
+      }
+      rows.push_back(std::move(r));
+    }
+    print_table(mesh ? "Table 3 / mesh (expect slope ~0.5)"
+                     : "Table 3 / hypercube (polylog: slope -> 0)",
+                rows);
+  }
+}
+
+void BM_Steady(benchmark::State& state) {
+  const Problem& p = kProblems[static_cast<std::size_t>(state.range(0))];
+  bool mesh = state.range(1) == 0;
+  std::size_t n = static_cast<std::size_t>(state.range(2));
+  MotionSystem sys = steady_workload(n * 3 + 5, n);
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Machine m = mesh ? Machine::mesh_for(n) : Machine::hypercube_for(n);
+    rounds = p.run(m, sys);
+  }
+  state.counters["sim_rounds"] = static_cast<double>(rounds);
+  state.SetLabel(std::string(p.name) + (mesh ? " mesh" : " hypercube"));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dyncg
+
+int main(int argc, char** argv) {
+  dyncg::bench::print_tables();
+  for (long p = 0; p < 6; ++p) {
+    for (long mesh = 0; mesh < 2; ++mesh) {
+      benchmark::RegisterBenchmark("Table3/problem", dyncg::bench::BM_Steady)
+          ->Args({p, mesh, 64})
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

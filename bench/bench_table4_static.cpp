@@ -1,0 +1,157 @@
+// Table 4 — "Static algorithms used" by the steady-state reductions.
+//
+// Paper rows:
+//   closest pair        mesh Theta(n^1/2)          [Miller and Stout 1989a]
+//                       hypercube Theta(log^2 n)   [Sanz and Cypher 1987]
+//   convex hull         mesh Theta(n^1/2)          [Miller and Stout 1989a]
+//                       hypercube Theta(log^2 n)   [Miller and Stout 1988b]
+//   antipodal vertices  serial Theta(n log n)      [Shamos 1975]
+//   minimal enclosing rectangle
+//                       hypercube Theta(log^2 n)   [Miller and Stout 1988a]
+//
+// Our static hull runs through duality on the Theorem 3.2 envelope engine
+// and hits the claimed bounds on both machines; the serial antipodal row is
+// measured in comparisons.
+#include <chrono>
+
+#include "common.hpp"
+#include "steady/machine_geometry.hpp"
+
+namespace dyncg {
+namespace bench {
+namespace {
+
+std::vector<Point2<double>> random_points(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<Point2<double>> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back(Point2<double>{rng.uniform(-100, 100),
+                                 rng.uniform(-100, 100), i});
+  }
+  return pts;
+}
+
+std::vector<Point2<double>> circle_points(std::size_t n) {
+  std::vector<Point2<double>> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    double a = 2 * M_PI * static_cast<double>(i) / static_cast<double>(n);
+    pts.push_back(Point2<double>{100 * std::cos(a), 100 * std::sin(a), i});
+  }
+  return pts;
+}
+
+void print_tables() {
+  const std::vector<std::size_t> sizes{64, 256, 1024, 4096, 16384};
+
+  std::vector<Row> rows_mesh, rows_cube;
+  // Closest pair.
+  {
+    Row rm{"closest pair", {}, {}, "Theta(n^1/2)"};
+    Row rc{"closest pair", {}, {}, "Theta(log^2 n)"};
+    for (std::size_t n : sizes) {
+      auto pts = random_points(n, n);
+      Machine mm = Machine::mesh_for(n);
+      CostMeter m1(mm.ledger());
+      machine_closest_pair(mm, pts);
+      rm.n.push_back(static_cast<double>(mm.size()));
+      rm.rounds.push_back(static_cast<double>(m1.elapsed().rounds));
+      Machine mc = Machine::hypercube_for(n);
+      CostMeter m2(mc.ledger());
+      machine_closest_pair(mc, pts);
+      rc.n.push_back(static_cast<double>(mc.size()));
+      rc.rounds.push_back(static_cast<double>(m2.elapsed().rounds));
+    }
+    rows_mesh.push_back(std::move(rm));
+    rows_cube.push_back(std::move(rc));
+  }
+  // Convex hull via duality (uniform square: h = Theta(log n); circle:
+  // h = n worst case).
+  for (int workload = 0; workload < 2; ++workload) {
+    const char* name = workload == 0 ? "convex hull (uniform)"
+                                     : "convex hull (all on circle)";
+    Row rm{name, {}, {}, "Theta(n^1/2)"};
+    Row rc{name, {}, {}, "Theta(log^2 n)"};
+    for (std::size_t n : sizes) {
+      auto pts = workload == 0 ? random_points(n + 1, n) : circle_points(n);
+      Machine mm = Machine::mesh_for(n);
+      CostMeter m1(mm.ledger());
+      machine_hull_ids(mm, pts);
+      rm.n.push_back(static_cast<double>(mm.size()));
+      rm.rounds.push_back(static_cast<double>(m1.elapsed().rounds));
+      Machine mc = Machine::hypercube_for(n);
+      CostMeter m2(mc.ledger());
+      machine_hull_ids(mc, pts);
+      rc.n.push_back(static_cast<double>(mc.size()));
+      rc.rounds.push_back(static_cast<double>(m2.elapsed().rounds));
+    }
+    rows_mesh.push_back(std::move(rm));
+    rows_cube.push_back(std::move(rc));
+  }
+  // Minimal enclosing rectangle (hull given).
+  {
+    Row rm{"min enclosing rectangle (hull given)", {}, {}, "Theta(n^1/2)"};
+    Row rc{"min enclosing rectangle (hull given)", {}, {}, "Theta(log^2 n)"};
+    for (std::size_t n : sizes) {
+      auto hull = circle_points(n);  // already convex, ccw
+      Machine mm = Machine::mesh_for(n);
+      CostMeter m1(mm.ledger());
+      machine_min_rectangle(mm, hull);
+      rm.n.push_back(static_cast<double>(mm.size()));
+      rm.rounds.push_back(static_cast<double>(m1.elapsed().rounds));
+      Machine mc = Machine::hypercube_for(n);
+      CostMeter m2(mc.ledger());
+      machine_min_rectangle(mc, hull);
+      rc.n.push_back(static_cast<double>(mc.size()));
+      rc.rounds.push_back(static_cast<double>(m2.elapsed().rounds));
+    }
+    rows_mesh.push_back(std::move(rm));
+    rows_cube.push_back(std::move(rc));
+  }
+  print_table("Table 4 / mesh (expect slope ~0.5)", rows_mesh);
+  print_table("Table 4 / hypercube (polylog: slope -> 0)", rows_cube);
+
+  // Serial antipodal vertices: Theta(n log n) dominated by the angular sort;
+  // measured in wall time over hull size.
+  std::printf("\n--- antipodal vertices, serial [Shamos 1975], Theta(n log n) "
+              "---\n");
+  for (std::size_t n : {1024u, 4096u, 16384u, 65536u}) {
+    auto hull = circle_points(n);
+    auto t0 = std::chrono::steady_clock::now();
+    auto pairs = antipodal_pairs(hull);
+    auto t1 = std::chrono::steady_clock::now();
+    std::printf("  h = %6zu: %6zu pairs, %8.3f ms\n", n, pairs.size(),
+                std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+}
+
+void BM_StaticHull(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  bool mesh = state.range(1) == 0;
+  auto pts = random_points(n + 1, n);
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Machine m = mesh ? Machine::mesh_for(n) : Machine::hypercube_for(n);
+    CostMeter meter(m.ledger());
+    machine_hull_ids(m, pts);
+    rounds = meter.elapsed().rounds;
+  }
+  state.counters["sim_rounds"] = static_cast<double>(rounds);
+  state.SetLabel(mesh ? "hull mesh" : "hull hypercube");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dyncg
+
+int main(int argc, char** argv) {
+  dyncg::bench::print_tables();
+  for (long mesh = 0; mesh < 2; ++mesh) {
+    benchmark::RegisterBenchmark("Table4/hull", dyncg::bench::BM_StaticHull)
+        ->Args({1024, mesh})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,117 @@
+#pragma once
+
+// Shared helpers for the bench harness.
+//
+// Every bench binary regenerates one table or figure of the paper.  The
+// quantity the paper's tables report is asymptotic *parallel time*; our
+// measurable stand-in is the simulator's round count, so each bench prints
+// a paper-style table of measured rounds over a sweep of n, plus the fitted
+// log-log slope against the claimed growth law, and then registers the same
+// runs as google-benchmark cases (rounds exposed as counters, wall time
+// measuring the simulator itself).
+#include <benchmark/benchmark.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "dyncg/motion.hpp"
+#include "machine/machine.hpp"
+#include "pieces/piecewise.hpp"
+#include "support/rng.hpp"
+
+namespace dyncg {
+namespace bench {
+
+// Least-squares slope of log(y) against log(x): the measured growth
+// exponent.
+inline double loglog_slope(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    double lx = std::log(x[i]), ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  double denom = static_cast<double>(n) * sxx - sx * sx;
+  return (static_cast<double>(n) * sxy - sx * sy) / denom;
+}
+
+// Ratio y / f(x) at the largest x, a "constant factor" probe.
+inline double tail_ratio(const std::vector<double>& x,
+                         const std::vector<double>& y, double (*f)(double)) {
+  return y.back() / f(x.back());
+}
+
+struct Row {
+  std::string label;
+  std::vector<double> n;
+  std::vector<double> rounds;
+  std::string claimed;  // the paper's Theta(...)
+};
+
+inline void print_table(const std::string& title,
+                        const std::vector<Row>& rows) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-44s %-18s %-10s  measured rounds over n sweep\n", "problem",
+              "paper claims", "slope");
+  for (const Row& r : rows) {
+    double slope = loglog_slope(r.n, r.rounds);
+    std::printf("%-44s %-18s %-10.3f ", r.label.c_str(), r.claimed.c_str(),
+                slope);
+    for (std::size_t i = 0; i < r.n.size(); ++i) {
+      std::printf(" %g:%g", r.n[i], r.rounds[i]);
+    }
+    std::printf("\n");
+  }
+  // Machine-readable dump for downstream plotting: set DYNCG_BENCH_CSV to a
+  // directory and every table lands there as <slug>.csv.
+  if (const char* dir = std::getenv("DYNCG_BENCH_CSV")) {
+    std::string slug;
+    for (char c : title) {
+      slug += (std::isalnum(static_cast<unsigned char>(c)) != 0)
+                  ? static_cast<char>(std::tolower(c))
+                  : '_';
+    }
+    std::string path = std::string(dir) + "/" + slug + ".csv";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fprintf(f, "problem,claim,n,rounds\n");
+      for (const Row& r : rows) {
+        for (std::size_t i = 0; i < r.n.size(); ++i) {
+          std::fprintf(f, "\"%s\",\"%s\",%g,%g\n", r.label.c_str(),
+                       r.claimed.c_str(), r.n[i], r.rounds[i]);
+        }
+      }
+      std::fclose(f);
+    }
+  }
+}
+
+inline MotionSystem workload(std::uint64_t seed, std::size_t n,
+                             std::size_t dim, int k) {
+  Rng rng(seed);
+  return random_motion_system(rng, n, dim, k);
+}
+
+inline PolyFamily random_poly_family(std::uint64_t seed, std::size_t n,
+                                     int max_deg) {
+  Rng rng(seed);
+  std::vector<Polynomial> fns;
+  fns.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    int deg = rng.uniform_int(1, max_deg);
+    std::vector<double> c(static_cast<std::size_t>(deg) + 1);
+    for (double& x : c) x = rng.uniform(-2.0, 2.0);
+    fns.push_back(Polynomial(c));
+  }
+  return PolyFamily(std::move(fns));
+}
+
+}  // namespace bench
+}  // namespace dyncg

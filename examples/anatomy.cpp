@@ -1,0 +1,70 @@
+// Anatomy of a Theorem 4.5 run: where do the rounds go?
+//
+// Uses the MachineProfile phase profiler to break a hull-membership
+// computation into the paper's own steps — the four Theorem 3.4 partial
+// envelopes (a0, b0, c0, d0), the indicator passes (A0/B0), and the final
+// packing — on both a mesh and a hypercube, and prints the share of each.
+//
+//   $ ./anatomy [n]
+#include <cstdio>
+#include <cstdlib>
+
+#include "dyncg/hull_membership.hpp"
+#include "machine/profile.hpp"
+#include "support/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dyncg;
+  std::size_t n = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 64;
+
+  Rng rng(2026);
+  MotionSystem sys = random_motion_system(rng, n, 2, 2);
+  const int k = sys.motion_degree();
+  const int s_bound = 4 * k;
+
+  for (int which = 0; which < 2; ++which) {
+    Machine m = which == 0 ? hull_membership_machine_mesh(sys)
+                           : hull_membership_machine_hypercube(sys);
+    std::printf("=== %s (%zu PEs, n = %zu, k = %d) ===\n",
+                m.topology().name().c_str(), m.size(), n, k);
+    MachineProfile prof(m);
+    RelativeMotion rel = RelativeMotion::around(sys, 0);
+    AngleFamily gfam(&rel, true), bfam(&rel, false);
+    PiecewiseFn a0, b0, c0, d0;
+    {
+      auto ph = prof.phase("envelope a0 = min G (Thm 3.4)");
+      a0 = parallel_envelope(m, gfam, s_bound, true);
+    }
+    {
+      auto ph = prof.phase("envelope b0 = max G");
+      b0 = parallel_envelope(m, gfam, s_bound, false);
+    }
+    {
+      auto ph = prof.phase("envelope c0 = min B");
+      c0 = parallel_envelope(m, bfam, s_bound, true);
+    }
+    {
+      auto ph = prof.phase("envelope d0 = max B");
+      d0 = parallel_envelope(m, bfam, s_bound, false);
+    }
+    IntervalSet result;
+    {
+      auto ph = prof.phase("indicators A0/B0/C0/D0 + pack");
+      // Re-run the full pipeline for the indicator half; subtract the
+      // envelope phases measured above.
+      Machine m2 = which == 0 ? hull_membership_machine_mesh(sys)
+                              : hull_membership_machine_hypercube(sys);
+      result = hull_membership_intervals(m2, sys, 0);
+      // Transfer the measured remainder: total minus four envelopes.
+      CostSnapshot whole = m2.ledger().snapshot();
+      CostSnapshot envs = prof.total();
+      m.ledger().add_rounds(whole.rounds > envs.rounds
+                                ? whole.rounds - envs.rounds
+                                : 0);
+    }
+    std::printf("%s", prof.report().c_str());
+    std::printf("P0 is a hull vertex during %s\n\n",
+                result.to_string().c_str());
+  }
+  return 0;
+}

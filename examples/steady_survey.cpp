@@ -1,0 +1,70 @@
+// Steady-state survey (Section 5): debris from an explosion flies apart
+// along polynomial trajectories.  Once the transient settles, which
+// fragments form the convex hull?  Which pair separates fastest (farthest
+// pair), which stays closest, and what is the minimal-area bounding
+// rectangle's shape?  All answered without simulating time forward: the
+// Reduction Lemma (Lemma 5.1) runs the static algorithms on coordinate
+// germs at t = infinity, both serially and on a simulated mesh.
+//
+//   $ ./steady_survey [n_fragments]
+#include <cstdio>
+#include <cstdlib>
+
+#include "dyncg/motion.hpp"
+#include "steady/machine_geometry.hpp"
+#include "steady/steady_state.hpp"
+#include "support/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dyncg;
+  std::size_t n = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 14;
+
+  Rng rng(99);
+  MotionSystem debris = diverging_motion_system(rng, n, /*k=*/2);
+  std::printf("Debris cloud: %zu fragments with k = %d motion\n\n", n,
+              debris.motion_degree());
+
+  // Serial steady-state answers via Lemma 5.1.
+  std::printf("Steady-state hull (Proposition 5.4): fragments ");
+  for (std::size_t id : steady_hull_ids(debris)) std::printf("%zu ", id);
+  std::printf("\n");
+
+  auto close = steady_closest_pair(debris);
+  std::printf("Steady-state closest pair (Prop 5.3): (%zu, %zu)\n", close.a,
+              close.b);
+  auto far = steady_farthest_pair(debris);
+  std::printf("Steady-state farthest pair (Cor 5.7): (%zu, %zu)\n", far.a,
+              far.b);
+  Polynomial diam2 = steady_diameter_squared(debris);
+  std::printf("Diameter^2 grows like degree-%d polynomial: %s\n",
+              diam2.degree(), diam2.to_string().c_str());
+  SteadyRectangle rect = steady_min_rectangle(debris);
+  std::printf("Min-area rectangle flush with hull edge (%zu, %zu) "
+              "(Thm 5.8)\n\n", rect.edge_from, rect.edge_to);
+
+  // The same questions on a simulated mesh (Table 3).
+  Machine mesh = Machine::mesh_for(n);
+  std::printf("--- machine run on %s ---\n", mesh.topology().name().c_str());
+  CostMeter meter(mesh.ledger());
+  std::size_t nn = machine_steady_neighbor(mesh, debris, 0);
+  auto c1 = meter.elapsed();
+  std::printf("steady NN of fragment 0: %zu       (%s)\n", nn,
+              c1.to_string().c_str());
+
+  Machine mesh2 = Machine::mesh_for(n);
+  CostMeter meter2(mesh2.ledger());
+  auto hull_ids = machine_steady_hull_ids(mesh2, debris);
+  std::printf("machine hull (%zu vertices)       (%s)\n", hull_ids.size(),
+              meter2.elapsed().to_string().c_str());
+
+  Machine mesh3 = Machine::mesh_for(n);
+  CostMeter meter3(mesh3.ledger());
+  auto mfar = machine_steady_farthest_pair(mesh3, debris);
+  std::printf("machine farthest pair (%zu, %zu)    (%s)\n", mfar.a, mfar.b,
+              meter3.elapsed().to_string().c_str());
+
+  bool ok = (mfar.a == far.a && mfar.b == far.b) ||
+            (mfar.a == far.b && mfar.b == far.a);
+  std::printf("\nserial/machine agreement: %s\n", ok ? "OK" : "MISMATCH");
+  return ok ? 0 : 1;
+}

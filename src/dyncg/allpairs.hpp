@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dyncg/motion.hpp"
+#include "envelope/parallel_envelope.hpp"
+#include "machine/machine.hpp"
+
+// All-pairs transient proximity (the Section 6 extension).
+//
+// "By using a mesh of size lambda_M(n(n-1)/2, 2k) (respectively, a
+// hypercube of size lambda_H(n(n-1)/2, 2k)), trivial modifications to the
+// algorithm of Theorem 4.1 give a sequence of closest or farthest pairs for
+// a system of n points with k-motion in d-dimensional space in
+// O(lambda^(1/2)(n(n-1)/2, 2k)) time for the mesh and in O(log^2 n) time
+// for the hypercube."
+//
+// Each PE holds one unordered pair's squared-distance polynomial; the
+// minimum (maximum) function of all n(n-1)/2 polynomials is the
+// chronological closest (farthest) pair sequence.  The same machine also
+// produces the chronological list of *all* collisions in the system (the
+// all-pairs analog of Theorem 4.2).  Whether Theta(lambda(n, 2k)) PEs
+// suffice is the paper's stated open problem.
+namespace dyncg {
+
+struct PairEpoch {
+  Interval iv;
+  std::size_t a;
+  std::size_t b;
+};
+
+struct PairSequence {
+  bool farthest = false;
+  std::vector<PairEpoch> epochs;  // chronological, intervals abut
+
+  std::string to_string() const;
+  std::pair<std::size_t, std::size_t> pair_at(double t) const;
+};
+
+// The closest (or farthest) pair sequence over time.
+PairSequence closest_pair_sequence(Machine& m, const MotionSystem& system,
+                                   bool farthest = false,
+                                   EnvelopeRunStats* stats = nullptr);
+
+// Chronological list of every collision in the system (all pairs).
+struct AllCollisionEvent {
+  double time;
+  std::size_t a;
+  std::size_t b;
+};
+std::vector<AllCollisionEvent> all_collision_times(Machine& m,
+                                                   const MotionSystem& system);
+
+// Machines of the Section 6 size lambda(n(n-1)/2, 2k).
+Machine allpairs_machine_mesh(const MotionSystem& system);
+Machine allpairs_machine_hypercube(const MotionSystem& system);
+
+// Brute-force oracle: the closest (farthest) pair at time t.
+std::pair<std::size_t, std::size_t> brute_force_pair(
+    const MotionSystem& system, double t, bool farthest);
+
+}  // namespace dyncg

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "dyncg/motion.hpp"
+#include "envelope/parallel_envelope.hpp"
+#include "machine/machine.hpp"
+#include "pieces/interval.hpp"
+#include "pieces/piecewise.hpp"
+
+// Containment problems (Section 4.3).
+//
+// Theorem 4.6: the ordered list J of time intervals during which the system
+// fits inside an iso-oriented hyper-rectangle of fixed dimensions
+// X_1 x ... x X_d.  Built from the per-coordinate extremal envelopes
+// m_i(t), M_i(t) (Theorem 3.2), the spreads D_i = M_i - m_i (Lemma 3.1
+// passes), the indicators W_i = [D_i <= X_i], and C = min W_i.
+//
+// Theorem 4.7: the edge-length function D(t) = max_i D_i(t) of the smallest
+// enclosing iso-oriented hypercube, Theta(lambda(n,k)) pieces.
+//
+// Corollary 4.8: D_min = min_t D(t) and a time attaining it, via per-PE
+// local minima over Theta(1) pieces plus one semigroup reduction.
+namespace dyncg {
+
+// The per-coordinate spread functions D_1..D_d (Step 1-2 of Theorem 4.6).
+std::vector<PiecewisePoly> coordinate_spreads(Machine& m,
+                                              const MotionSystem& system);
+
+// Theorem 4.6: J, given the rectangle dimensions (one per coordinate).
+IntervalSet containment_intervals(Machine& m, const MotionSystem& system,
+                                  const std::vector<double>& dims);
+
+// Theorem 4.7: the edge-length function D(t).
+PiecewisePoly enclosing_cube_edge(Machine& m, const MotionSystem& system);
+
+struct SmallestCube {
+  double edge;  // D_min
+  double time;  // a t with D(t) = D_min
+};
+
+// Corollary 4.8.
+SmallestCube smallest_enclosing_cube(Machine& m, const MotionSystem& system);
+
+// Machines of the paper's size lambda_M(n,k) / lambda_H(n,k).
+Machine containment_machine_mesh(const MotionSystem& system);
+Machine containment_machine_hypercube(const MotionSystem& system);
+
+// Serial oracle: the spread of coordinate i at time t by brute force.
+double brute_force_spread(const MotionSystem& system, std::size_t coord,
+                          double t);
+
+}  // namespace dyncg

@@ -1,0 +1,140 @@
+#include "dyncg/motion.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace dyncg {
+
+Trajectory Trajectory::fixed(const std::vector<double>& position) {
+  std::vector<Polynomial> coords;
+  coords.reserve(position.size());
+  for (double x : position) coords.push_back(Polynomial::constant(x));
+  return Trajectory(std::move(coords));
+}
+
+int Trajectory::motion_degree() const {
+  int k = 0;
+  for (const Polynomial& c : coords_) k = std::max(k, c.degree());
+  return k;
+}
+
+std::vector<double> Trajectory::position(double t) const {
+  std::vector<double> p;
+  p.reserve(coords_.size());
+  for (const Polynomial& c : coords_) p.push_back(c(t));
+  return p;
+}
+
+Polynomial Trajectory::distance_squared(const Trajectory& other) const {
+  DYNCG_ASSERT(dimension() == other.dimension(),
+               "distance between different dimensions");
+  Polynomial sum;
+  for (std::size_t i = 0; i < coords_.size(); ++i) {
+    Polynomial diff = coords_[i] - other.coords_[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+Trajectory Trajectory::velocity() const {
+  std::vector<Polynomial> d;
+  d.reserve(coords_.size());
+  for (const Polynomial& c : coords_) d.push_back(c.derivative());
+  return Trajectory(std::move(d));
+}
+
+Polynomial Trajectory::speed_squared() const {
+  Polynomial sum;
+  for (const Polynomial& c : coords_) {
+    Polynomial d = c.derivative();
+    sum += d * d;
+  }
+  return sum;
+}
+
+MotionSystem::MotionSystem(std::size_t dimension,
+                           std::vector<Trajectory> points)
+    : dim_(dimension), points_(std::move(points)) {
+  for (const Trajectory& p : points_) {
+    DYNCG_ASSERT(p.dimension() == dim_, "trajectory dimension mismatch");
+  }
+}
+
+int MotionSystem::motion_degree() const {
+  int k = 0;
+  for (const Trajectory& p : points_) k = std::max(k, p.motion_degree());
+  return k;
+}
+
+std::vector<std::vector<double>> MotionSystem::positions(double t) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(points_.size());
+  for (const Trajectory& p : points_) out.push_back(p.position(t));
+  return out;
+}
+
+bool MotionSystem::initial_positions_distinct() const {
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    for (std::size_t j = i + 1; j < points_.size(); ++j) {
+      double d = points_[i].distance_squared(points_[j])(0.0);
+      if (d <= 1e-18) return false;
+    }
+  }
+  return true;
+}
+
+MotionSystem random_motion_system(Rng& rng, std::size_t n, std::size_t dim,
+                                  int k, double coeff) {
+  DYNCG_ASSERT(k >= 0, "negative motion degree");
+  std::vector<Trajectory> pts;
+  pts.reserve(n);
+  std::vector<std::vector<double>> starts;
+  while (pts.size() < n) {
+    std::vector<Polynomial> coords;
+    std::vector<double> start;
+    for (std::size_t d = 0; d < dim; ++d) {
+      std::vector<double> c(static_cast<std::size_t>(k) + 1);
+      for (double& x : c) x = rng.uniform(-coeff, coeff);
+      // Spread the constant terms wider so initial positions separate.
+      c[0] = rng.uniform(-4 * coeff, 4 * coeff);
+      start.push_back(c[0]);
+      coords.push_back(Polynomial(c));
+    }
+    bool clash = false;
+    for (const auto& s : starts) {
+      double d2 = 0;
+      for (std::size_t i = 0; i < dim; ++i) d2 += (s[i] - start[i]) * (s[i] - start[i]);
+      if (d2 < 1e-6) clash = true;
+    }
+    if (clash) continue;
+    starts.push_back(start);
+    pts.push_back(Trajectory(std::move(coords)));
+  }
+  return MotionSystem(dim, std::move(pts));
+}
+
+MotionSystem diverging_motion_system(Rng& rng, std::size_t n, int k) {
+  DYNCG_ASSERT(k >= 1, "diverging system needs k >= 1");
+  std::vector<Trajectory> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Distinct outward directions with jittered speeds; lower-order terms
+    // random so the transient is nontrivial.
+    double angle = 2 * M_PI * (static_cast<double>(i) + rng.uniform(0.05, 0.4)) /
+                   static_cast<double>(n);
+    double speed = rng.uniform(1.0, 3.0);
+    std::vector<double> cx(static_cast<std::size_t>(k) + 1);
+    std::vector<double> cy(static_cast<std::size_t>(k) + 1);
+    for (int d = 0; d <= k; ++d) {
+      cx[static_cast<std::size_t>(d)] = rng.uniform(-1.0, 1.0);
+      cy[static_cast<std::size_t>(d)] = rng.uniform(-1.0, 1.0);
+    }
+    cx[static_cast<std::size_t>(k)] = speed * std::cos(angle);
+    cy[static_cast<std::size_t>(k)] = speed * std::sin(angle);
+    pts.push_back(Trajectory({Polynomial(cx), Polynomial(cy)}));
+  }
+  return MotionSystem(2, std::move(pts));
+}
+
+}  // namespace dyncg

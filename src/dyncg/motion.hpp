@@ -1,0 +1,82 @@
+#pragma once
+
+#include <vector>
+
+#include "poly/polynomial.hpp"
+#include "support/rng.hpp"
+
+// The k-motion model (Section 2.4): n point-objects P_0, ..., P_{n-1} move
+// in Euclidean d-space, every coordinate of every trajectory a polynomial of
+// degree <= k in time, no two objects at the same initial position.
+namespace dyncg {
+
+// One moving point: a polynomial per coordinate.
+class Trajectory {
+ public:
+  Trajectory() = default;
+  explicit Trajectory(std::vector<Polynomial> coords)
+      : coords_(std::move(coords)) {}
+
+  // Static point convenience.
+  static Trajectory fixed(const std::vector<double>& position);
+
+  std::size_t dimension() const { return coords_.size(); }
+  const Polynomial& coordinate(std::size_t i) const { return coords_[i]; }
+
+  // Max degree over coordinates (the k of k-motion; 0 for static points).
+  int motion_degree() const;
+
+  // Position at time t.
+  std::vector<double> position(double t) const;
+
+  // Squared Euclidean distance to another trajectory, as a polynomial of
+  // degree <= 2k.  This is the d^2_{ij}(t) of Section 4.1.
+  Polynomial distance_squared(const Trajectory& other) const;
+
+  // Componentwise derivative: the velocity trajectory (degree <= k-1).
+  Trajectory velocity() const;
+
+  // Squared speed |f'(t)|^2, a polynomial of degree <= 2(k-1).
+  Polynomial speed_squared() const;
+
+ private:
+  std::vector<Polynomial> coords_;
+};
+
+// A dynamic system: the input to every Section 4 / Section 5 algorithm.
+class MotionSystem {
+ public:
+  MotionSystem(std::size_t dimension, std::vector<Trajectory> points);
+
+  std::size_t size() const { return points_.size(); }
+  std::size_t dimension() const { return dim_; }
+  const Trajectory& point(std::size_t i) const { return points_[i]; }
+  const std::vector<Trajectory>& points() const { return points_; }
+
+  // The k of k-motion: max degree over all coordinates of all points.
+  int motion_degree() const;
+
+  // Positions of all points at time t (row i = point i).
+  std::vector<std::vector<double>> positions(double t) const;
+
+  // Section 2.4's assumption: all initial positions distinct.
+  bool initial_positions_distinct() const;
+
+ private:
+  std::size_t dim_;
+  std::vector<Trajectory> points_;
+};
+
+// Workload generators for tests, examples, and the bench harness.
+
+// Uniform random k-motion: coefficients in [-coeff, coeff], initial
+// positions separated (rejection-sampled).
+MotionSystem random_motion_system(Rng& rng, std::size_t n, std::size_t dim,
+                                  int k, double coeff = 2.0);
+
+// Diverging system: every point eventually flies off with a distinct
+// velocity direction; useful for steady-state problems where hull(S) should
+// stabilize with all points extreme.
+MotionSystem diverging_motion_system(Rng& rng, std::size_t n, int k);
+
+}  // namespace dyncg

@@ -1,0 +1,99 @@
+#include "dyncg/motion_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace dyncg {
+
+std::string to_text(const MotionSystem& system) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "dyncg-motion 1\n";
+  os << "dim " << system.dimension() << "\n";
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    os << "point ";
+    for (std::size_t c = 0; c < system.dimension(); ++c) {
+      if (c) os << " ; ";
+      const Polynomial& p = system.point(i).coordinate(c);
+      if (p.is_zero()) {
+        os << "0";
+      } else {
+        for (int j = 0; j <= p.degree(); ++j) {
+          if (j) os << " ";
+          os << p.coefficient(j);
+        }
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+MotionSystem motion_from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::size_t dim = 0;
+  bool header_seen = false;
+  std::vector<Trajectory> points;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    // Strip comments and whitespace-only lines.
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;
+    if (tok == "dyncg-motion") {
+      int version = 0;
+      DYNCG_ASSERT(static_cast<bool>(ls >> version) && version == 1,
+                   "unsupported motion file version");
+      header_seen = true;
+    } else if (tok == "dim") {
+      DYNCG_ASSERT(header_seen, "motion file missing header");
+      DYNCG_ASSERT(static_cast<bool>(ls >> dim) && dim >= 1,
+                   "bad dim line in motion file");
+    } else if (tok == "point") {
+      DYNCG_ASSERT(dim >= 1, "point before dim in motion file");
+      std::vector<Polynomial> coords;
+      std::vector<double> cur;
+      std::string w;
+      while (ls >> w) {
+        if (w == ";") {
+          coords.push_back(Polynomial(cur));
+          cur.clear();
+        } else {
+          cur.push_back(std::atof(w.c_str()));
+        }
+      }
+      coords.push_back(Polynomial(cur));
+      DYNCG_ASSERT(coords.size() == dim,
+                   "wrong coordinate count in motion file point");
+      points.push_back(Trajectory(std::move(coords)));
+    } else {
+      DYNCG_ASSERT(false, "unknown directive in motion file");
+    }
+  }
+  DYNCG_ASSERT(header_seen, "not a dyncg-motion file");
+  DYNCG_ASSERT(!points.empty(), "motion file has no points");
+  return MotionSystem(dim, std::move(points));
+}
+
+void save_motion_system(const MotionSystem& system, const std::string& path) {
+  std::ofstream out(path);
+  DYNCG_ASSERT(static_cast<bool>(out), "cannot open motion file for writing");
+  out << to_text(system);
+  DYNCG_ASSERT(static_cast<bool>(out), "motion file write failed");
+}
+
+MotionSystem load_motion_system(const std::string& path) {
+  std::ifstream in(path);
+  DYNCG_ASSERT(static_cast<bool>(in), "cannot open motion file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return motion_from_text(buf.str());
+}
+
+}  // namespace dyncg

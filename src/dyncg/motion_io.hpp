@@ -1,0 +1,30 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dyncg/motion.hpp"
+
+// Plain-text serialization of motion systems.
+//
+// Format (line-oriented, '#' comments allowed):
+//   dyncg-motion 1          header: format name + version
+//   dim <d>
+//   point <c00 c01 ...> ; <c10 c11 ...> ; ...   one ';'-separated list of
+//                                               ascending coefficients per
+//                                               coordinate
+// Example — two linearly moving planar points:
+//   dyncg-motion 1
+//   dim 2
+//   point 0 1 ; 0 0.5
+//   point 10 -1 ; 2
+namespace dyncg {
+
+std::string to_text(const MotionSystem& system);
+MotionSystem motion_from_text(const std::string& text);
+
+// File helpers; save aborts on I/O failure, load on parse failure.
+void save_motion_system(const MotionSystem& system, const std::string& path);
+MotionSystem load_motion_system(const std::string& path);
+
+}  // namespace dyncg

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dyncg/motion.hpp"
+#include "envelope/parallel_envelope.hpp"
+#include "machine/machine.hpp"
+#include "pieces/piecewise.hpp"
+
+// Closest and farthest points over time (Section 4.1, Theorem 4.1).
+//
+// R is the chronological sequence of nearest neighbors to P_0: its first
+// member is a closest point at t = 0, its last a closest point as t -> inf.
+// The algorithm broadcasts f_0, lets PE_j build the squared distance
+// d^2_{0j}(t) (degree <= 2k), and constructs the minimum function of those
+// n-1 polynomials by Theorem 3.2 on a machine of lambda(n-1, 2k) PEs.
+// R' (farthest) is the same with the maximum function.
+namespace dyncg {
+
+struct NeighborEpoch {
+  Interval iv;
+  std::size_t neighbor;  // index into the motion system (never the query)
+};
+
+struct NeighborSequence {
+  std::size_t query = 0;
+  bool farthest = false;
+  std::vector<NeighborEpoch> epochs;  // chronological, intervals abut
+
+  std::string to_string() const;
+  // The neighbor at time t (brute-force check helper).
+  std::size_t neighbor_at(double t) const;
+};
+
+// Theorem 4.1 on the given machine.  The machine should be sized by
+// proximity_machine_*; k is taken from the system.
+NeighborSequence neighbor_sequence(Machine& m, const MotionSystem& system,
+                                   std::size_t query, bool farthest = false,
+                                   EnvelopeRunStats* stats = nullptr);
+
+// Machines of the paper's size lambda_M(n-1, 2k) / lambda_H(n-1, 2k).
+Machine proximity_machine_mesh(const MotionSystem& system);
+Machine proximity_machine_hypercube(const MotionSystem& system);
+
+// Serial oracle: nearest (or farthest) neighbor of `query` at time t by
+// brute force.
+std::size_t brute_force_neighbor(const MotionSystem& system,
+                                 std::size_t query, double t, bool farthest);
+
+}  // namespace dyncg

@@ -1,0 +1,14 @@
+#include "machine/cost.hpp"
+
+#include <sstream>
+
+namespace dyncg {
+
+std::string CostSnapshot::to_string() const {
+  std::ostringstream os;
+  os << "rounds=" << rounds << " messages=" << messages
+     << " local_ops=" << local_ops << " time=" << time();
+  return os.str();
+}
+
+}  // namespace dyncg

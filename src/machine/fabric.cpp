@@ -1,0 +1,100 @@
+#include "machine/fabric.hpp"
+
+#include <algorithm>
+
+namespace dyncg {
+namespace fabric_reference {
+namespace {
+
+struct Packet {
+  std::size_t at;
+  std::size_t dst;
+  long payload;
+};
+
+// Next hop under dimension-order routing: meshes route along the row first,
+// hypercubes fix the lowest differing bit first.
+std::size_t next_hop(const Topology& topo, std::size_t at, std::size_t dst) {
+  if (const auto* mesh = dynamic_cast<const MeshTopology*>(&topo)) {
+    std::size_t side = mesh->side();
+    std::size_t ar = at / side, ac = at % side;
+    std::size_t dr = dst / side, dc = dst % side;
+    if (ac != dc) return ar * side + (ac < dc ? ac + 1 : ac - 1);
+    return (ar < dr ? ar + 1 : ar - 1) * side + ac;
+  }
+  std::size_t diff = at ^ dst;
+  std::size_t bit = diff & (~diff + 1);  // lowest set bit
+  return at ^ bit;
+}
+
+// Store-and-forward router with one word per directed link per round and
+// unbounded PE queues.  Returns the number of rounds until every packet is
+// delivered; on return, `values` holds the payloads by destination rank.
+std::uint64_t route_all(const Topology& topo, std::vector<Packet> packets,
+                        std::vector<long>* delivered_by_node) {
+  std::uint64_t rounds = 0;
+  bool any_moving = true;
+  while (any_moving) {
+    any_moving = false;
+    // Farthest-first priority keeps the router deterministic.
+    std::sort(packets.begin(), packets.end(),
+              [&topo](const Packet& a, const Packet& b) {
+                std::size_t da = topo.shortest_path(a.at, a.dst);
+                std::size_t db = topo.shortest_path(b.at, b.dst);
+                if (da != db) return da > db;
+                return a.dst < b.dst;
+              });
+    std::vector<std::pair<std::size_t, std::size_t>> used;
+    for (Packet& p : packets) {
+      if (p.at == p.dst) continue;
+      std::size_t nh = next_hop(topo, p.at, p.dst);
+      std::pair<std::size_t, std::size_t> link{p.at, nh};
+      if (std::find(used.begin(), used.end(), link) == used.end()) {
+        used.push_back(link);
+        p.at = nh;
+      }
+      any_moving = true;
+    }
+    if (any_moving) ++rounds;
+  }
+  if (delivered_by_node != nullptr) {
+    for (const Packet& p : packets) (*delivered_by_node)[p.dst] = p.payload;
+  }
+  return rounds;
+}
+
+}  // namespace
+
+std::uint64_t exchange_offset(const Topology& topo, unsigned k,
+                              std::vector<long>& values) {
+  std::size_t n = topo.size();
+  std::vector<Packet> pkts;
+  pkts.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::size_t partner = r ^ (std::size_t{1} << k);
+    pkts.push_back(Packet{topo.node_of_rank(r), topo.node_of_rank(partner),
+                          values[r]});
+  }
+  std::vector<long> by_node(n, 0);
+  std::uint64_t rounds = route_all(topo, std::move(pkts), &by_node);
+  for (std::size_t r = 0; r < n; ++r) values[r] = by_node[topo.node_of_rank(r)];
+  return rounds;
+}
+
+std::uint64_t shift_up(const Topology& topo, std::vector<long>& values,
+                       long fill) {
+  std::size_t n = topo.size();
+  std::vector<Packet> pkts;
+  for (std::size_t r = 0; r + 1 < n; ++r) {
+    pkts.push_back(Packet{topo.node_of_rank(r), topo.node_of_rank(r + 1),
+                          values[r]});
+  }
+  std::vector<long> by_node(n, 0);
+  std::uint64_t rounds = route_all(topo, std::move(pkts), &by_node);
+  for (std::size_t r = 1; r < n; ++r) values[r] = by_node[topo.node_of_rank(r)];
+  values[0] = fill;
+  return rounds;
+}
+
+}  // namespace fabric_reference
+}  // namespace dyncg

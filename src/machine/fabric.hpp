@@ -1,0 +1,84 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "machine/cost.hpp"
+#include "machine/topology.hpp"
+#include "support/assert.hpp"
+
+// Layer A: a literal store-and-forward message fabric.
+//
+// Each round, every PE stages at most one word per incident link; deliver()
+// moves the staged words one hop and advances the round clock.  Capacity
+// violations (two words on one directed link in one round) abort.  This
+// layer is the ground truth for the cost model: the ops layer (Layer B)
+// charges pattern costs analytically, and the fabric tests replay the same
+// patterns hop by hop to verify those charges are achievable.
+namespace dyncg {
+
+template <class Msg>
+class Fabric {
+ public:
+  explicit Fabric(const Topology& topo, CostLedger* ledger = nullptr)
+      : topo_(topo), ledger_(ledger), inbox_(topo.size()), staged_(topo.size()) {}
+
+  const Topology& topology() const { return topo_; }
+  std::uint64_t rounds() const { return rounds_; }
+
+  // Stage a word from node `from` to adjacent node `to` for this round.
+  void send(std::size_t from, std::size_t to, Msg m) {
+    DYNCG_ASSERT(topo_.adjacent(from, to), "fabric send on a non-link");
+    for (const auto& s : staged_[from]) {
+      DYNCG_ASSERT(s.first != to, "link capacity exceeded (one word per "
+                                  "directed link per round)");
+    }
+    staged_[from].emplace_back(to, std::move(m));
+  }
+
+  // End of round: deliver every staged word and advance the clock.
+  void deliver() {
+    for (auto& box : inbox_) box.clear();
+    std::uint64_t moved = 0;
+    for (std::size_t v = 0; v < staged_.size(); ++v) {
+      for (auto& s : staged_[v]) {
+        inbox_[s.first].push_back(std::move(s.second));
+        ++moved;
+      }
+      staged_[v].clear();
+    }
+    ++rounds_;
+    if (ledger_ != nullptr) {
+      ledger_->add_rounds(1);
+      ledger_->add_messages(moved);
+    }
+  }
+
+  const std::vector<Msg>& inbox(std::size_t v) const { return inbox_[v]; }
+
+ private:
+  const Topology& topo_;
+  CostLedger* ledger_;
+  std::uint64_t rounds_ = 0;
+  std::vector<std::vector<Msg>> inbox_;
+  std::vector<std::vector<std::pair<std::size_t, Msg>>> staged_;
+};
+
+// Reference (hop-by-hop) implementations of the basic patterns, used by the
+// tests to validate Layer B's analytic pattern costs.
+namespace fabric_reference {
+
+// Full-machine exchange between rank partners r <-> r ^ 2^k: every pair
+// swaps its words via shortest paths, pipelined one hop per round.  Returns
+// the number of rounds consumed.
+std::uint64_t exchange_offset(const Topology& topo, unsigned k,
+                              std::vector<long>& values);
+
+// Unit rank shift: rank r's word moves to rank r+1 (the last rank's word is
+// discarded and rank 0 receives `fill`).  Returns rounds consumed.
+std::uint64_t shift_up(const Topology& topo, std::vector<long>& values,
+                       long fill);
+
+}  // namespace fabric_reference
+
+}  // namespace dyncg

@@ -1,0 +1,150 @@
+#include "machine/indexing.hpp"
+
+#include "support/assert.hpp"
+
+namespace dyncg {
+
+const char* to_string(MeshOrder order) {
+  switch (order) {
+    case MeshOrder::kRowMajor: return "row-major";
+    case MeshOrder::kShuffledRowMajor: return "shuffled-row-major";
+    case MeshOrder::kSnake: return "snake";
+    case MeshOrder::kProximity: return "proximity";
+  }
+  return "?";
+}
+
+const char* to_string(CubeOrder order) {
+  switch (order) {
+    case CubeOrder::kNatural: return "natural";
+    case CubeOrder::kGray: return "gray";
+  }
+  return "?";
+}
+
+std::uint64_t gray_encode(std::uint64_t i) { return i ^ (i >> 1); }
+
+std::uint64_t gray_decode(std::uint64_t g) {
+  std::uint64_t i = 0;
+  for (; g; g >>= 1) i ^= g;
+  return i;
+}
+
+namespace {
+
+bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+// Interleave the bits of rank: even-position bits -> column, odd -> row.
+// This is the "shuffled row-major" numbering of Figure 2b: recursively, the
+// four quadrants NW, NE, SW, SE carry the four quarters of the index range.
+RowCol unshuffle(std::uint32_t side, std::uint64_t rank) {
+  std::uint32_t row = 0, col = 0;
+  for (std::uint32_t bit = 0; (1u << bit) < side; ++bit) {
+    col |= static_cast<std::uint32_t>((rank >> (2 * bit)) & 1u) << bit;
+    row |= static_cast<std::uint32_t>((rank >> (2 * bit + 1)) & 1u) << bit;
+  }
+  return RowCol{row, col};
+}
+
+std::uint64_t shuffle(std::uint32_t side, RowCol rc) {
+  std::uint64_t rank = 0;
+  for (std::uint32_t bit = 0; (1u << bit) < side; ++bit) {
+    rank |= static_cast<std::uint64_t>((rc.col >> bit) & 1u) << (2 * bit);
+    rank |= static_cast<std::uint64_t>((rc.row >> bit) & 1u) << (2 * bit + 1);
+  }
+  return rank;
+}
+
+}  // namespace
+
+RowCol hilbert_d2rc(std::uint32_t side, std::uint64_t d) {
+  std::uint32_t x = 0, y = 0;
+  std::uint64_t t = d;
+  for (std::uint32_t s = 1; s < side; s <<= 1) {
+    std::uint32_t rx = static_cast<std::uint32_t>((t / 2) & 1u);
+    std::uint32_t ry = static_cast<std::uint32_t>((t ^ rx) & 1u);
+    if (ry == 0) {  // rotate quadrant
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      std::uint32_t tmp = x;
+      x = y;
+      y = tmp;
+    }
+    x += s * rx;
+    y += s * ry;
+    t /= 4;
+  }
+  return RowCol{y, x};
+}
+
+std::uint64_t hilbert_rc2d(std::uint32_t side, RowCol rc) {
+  std::uint64_t d = 0;
+  std::uint32_t x = rc.col, y = rc.row;
+  for (std::uint32_t s = side / 2; s > 0; s /= 2) {
+    std::uint32_t rx = (x & s) ? 1u : 0u;
+    std::uint32_t ry = (y & s) ? 1u : 0u;
+    d += static_cast<std::uint64_t>(s) * s * ((3 * rx) ^ ry);
+    if (ry == 0) {
+      if (rx == 1) {
+        x = s - 1 - (x & (s - 1));
+        y = s - 1 - (y & (s - 1));
+      } else {
+        x = x & (s - 1);
+        y = y & (s - 1);
+      }
+      std::uint32_t tmp = x;
+      x = y;
+      y = tmp;
+    } else {
+      x = x & (s - 1);
+      y = y & (s - 1);
+    }
+  }
+  return d;
+}
+
+RowCol mesh_rank_to_rc(MeshOrder order, std::uint32_t side,
+                       std::uint64_t rank) {
+  DYNCG_ASSERT(is_pow2(side), "mesh side must be a power of two");
+  DYNCG_ASSERT(rank < static_cast<std::uint64_t>(side) * side,
+               "rank out of range");
+  switch (order) {
+    case MeshOrder::kRowMajor:
+      return RowCol{static_cast<std::uint32_t>(rank / side),
+                    static_cast<std::uint32_t>(rank % side)};
+    case MeshOrder::kSnake: {
+      std::uint32_t row = static_cast<std::uint32_t>(rank / side);
+      std::uint32_t col = static_cast<std::uint32_t>(rank % side);
+      if (row % 2 == 1) col = side - 1 - col;
+      return RowCol{row, col};
+    }
+    case MeshOrder::kShuffledRowMajor:
+      return unshuffle(side, rank);
+    case MeshOrder::kProximity:
+      return hilbert_d2rc(side, rank);
+  }
+  return RowCol{};
+}
+
+std::uint64_t mesh_rc_to_rank(MeshOrder order, std::uint32_t side, RowCol rc) {
+  DYNCG_ASSERT(is_pow2(side), "mesh side must be a power of two");
+  DYNCG_ASSERT(rc.row < side && rc.col < side, "position out of range");
+  switch (order) {
+    case MeshOrder::kRowMajor:
+      return static_cast<std::uint64_t>(rc.row) * side + rc.col;
+    case MeshOrder::kSnake: {
+      std::uint32_t col = rc.col;
+      if (rc.row % 2 == 1) col = side - 1 - col;
+      return static_cast<std::uint64_t>(rc.row) * side + col;
+    }
+    case MeshOrder::kShuffledRowMajor:
+      return shuffle(side, rc);
+    case MeshOrder::kProximity:
+      return hilbert_rc2d(side, rc);
+  }
+  return 0;
+}
+
+}  // namespace dyncg

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+// PE indexing schemes.
+//
+// Section 2.2 / Figure 2: the PEs of a mesh may be numbered in row-major,
+// shuffled row-major, snake-like, or proximity (Peano-Hilbert) order.  The
+// paper indexes mesh PEs by proximity order because (1) consecutive PEs are
+// adjacent and (2) the mesh recursively subdivides into submeshes of
+// consecutive PEs.  Section 2.3 / Figure 3: hypercube PEs are ordered by a
+// binary reflected Gray code, which has the same two properties with
+// "submesh" replaced by "subcube".
+namespace dyncg {
+
+enum class MeshOrder {
+  kRowMajor,
+  kShuffledRowMajor,
+  kSnake,
+  kProximity,  // Peano-Hilbert; the paper's default
+};
+
+enum class CubeOrder {
+  kNatural,  // rank == node id
+  kGray,     // binary reflected Gray code; the paper's default
+};
+
+const char* to_string(MeshOrder order);
+const char* to_string(CubeOrder order);
+
+struct RowCol {
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+};
+
+// rank -> lattice position for a side x side mesh (side a power of two).
+RowCol mesh_rank_to_rc(MeshOrder order, std::uint32_t side, std::uint64_t rank);
+
+// lattice position -> rank (inverse of mesh_rank_to_rc).
+std::uint64_t mesh_rc_to_rank(MeshOrder order, std::uint32_t side, RowCol rc);
+
+// Binary reflected Gray code and its inverse (Section 2.3's G_k).
+std::uint64_t gray_encode(std::uint64_t i);
+std::uint64_t gray_decode(std::uint64_t g);
+
+// Hilbert curve: distance along the order-m curve -> (row, col) and back.
+RowCol hilbert_d2rc(std::uint32_t side, std::uint64_t d);
+std::uint64_t hilbert_rc2d(std::uint32_t side, RowCol rc);
+
+}  // namespace dyncg

@@ -1,0 +1,7 @@
+#include "machine/machine.hpp"
+
+// Machine is header-only; this translation unit anchors the module in the
+// archive.
+namespace dyncg {
+static_assert(sizeof(Machine) > 0, "Machine defined");
+}  // namespace dyncg

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <memory>
+
+#include "machine/cost.hpp"
+#include "machine/topology.hpp"
+
+// Layer B: the machine the algorithm library runs on.
+//
+// A Machine is a topology plus a cost ledger.  Operations in src/ops
+// manipulate per-PE registers (std::vector slots indexed by rank) and charge
+// the ledger the topology's true round price for each communication pattern
+// they perform.  The fabric tests (Layer A) verify hop-by-hop that those
+// prices are achievable on the physical links.
+namespace dyncg {
+
+class Machine {
+ public:
+  explicit Machine(std::shared_ptr<const Topology> topo)
+      : topo_(std::move(topo)) {}
+
+  std::size_t size() const { return topo_->size(); }
+  const Topology& topology() const { return *topo_; }
+  std::shared_ptr<const Topology> topology_ptr() const { return topo_; }
+
+  CostLedger& ledger() { return ledger_; }
+  const CostLedger& ledger() const { return ledger_; }
+
+  // Pattern charges.  Width-limited variants charge the same price as the
+  // full-machine pattern: disjoint strings operate in parallel, so the cost
+  // is the maximum over strings, which equals the single-string cost.
+  void charge_exchange(unsigned k) {
+    ledger_.add_rounds(topo_->exchange_rounds(k));
+    ledger_.add_messages(size());
+  }
+  void charge_shift(std::uint64_t distance = 1) {
+    ledger_.add_rounds(distance * topo_->shift_rounds());
+    ledger_.add_messages(size());
+  }
+  // Per-PE local work: charged as the maximum over PEs (SIMD model).
+  void charge_local(std::uint64_t ops = 1) { ledger_.add_local_ops(ops); }
+
+  // Convenience: make a machine of the paper's canonical size for n items.
+  static Machine mesh_for(std::size_t n,
+                          MeshOrder order = MeshOrder::kProximity) {
+    return Machine(make_mesh_for(n, order));
+  }
+  static Machine hypercube_for(std::size_t n,
+                               CubeOrder order = CubeOrder::kGray) {
+    return Machine(make_hypercube_for(n, order));
+  }
+
+ private:
+  std::shared_ptr<const Topology> topo_;
+  CostLedger ledger_;
+};
+
+}  // namespace dyncg

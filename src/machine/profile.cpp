@@ -1,0 +1,48 @@
+#include "machine/profile.hpp"
+
+#include <sstream>
+
+namespace dyncg {
+
+void MachineProfile::add(const std::string& label, CostSnapshot delta) {
+  for (Entry& e : entries_) {
+    if (e.label == label) {
+      e.cost.rounds += delta.rounds;
+      e.cost.messages += delta.messages;
+      e.cost.local_ops += delta.local_ops;
+      return;
+    }
+  }
+  entries_.push_back(Entry{label, delta});
+}
+
+CostSnapshot MachineProfile::total() const {
+  CostSnapshot t;
+  for (const Entry& e : entries_) {
+    t.rounds += e.cost.rounds;
+    t.messages += e.cost.messages;
+    t.local_ops += e.cost.local_ops;
+  }
+  return t;
+}
+
+std::string MachineProfile::report() const {
+  CostSnapshot t = total();
+  std::ostringstream os;
+  os << "phase breakdown (" << t.rounds << " rounds total):\n";
+  for (const Entry& e : entries_) {
+    double share = t.rounds == 0
+                       ? 0.0
+                       : 100.0 * static_cast<double>(e.cost.rounds) /
+                             static_cast<double>(t.rounds);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "  %-32s %10llu rounds  %5.1f%%  (%llu local)\n",
+                  e.label.c_str(),
+                  static_cast<unsigned long long>(e.cost.rounds), share,
+                  static_cast<unsigned long long>(e.cost.local_ops));
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace dyncg

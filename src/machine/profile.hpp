@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/machine.hpp"
+
+// Phase profiling for machine algorithms.
+//
+// The ledger answers "how many rounds did the whole algorithm take"; the
+// profiler answers "where did they go" — how much of a Theorem 4.5 run was
+// envelope construction vs indicator passes vs packing.  Phases are scoped
+// RAII markers; nested phases attribute their costs to the innermost open
+// scope.  The report is what bench tables print when asked for a breakdown.
+namespace dyncg {
+
+class MachineProfile {
+ public:
+  struct Entry {
+    std::string label;
+    CostSnapshot cost;
+  };
+
+  explicit MachineProfile(Machine& m) : machine_(m) {}
+
+  // Scoped phase: charges between construction and destruction accrue to
+  // `label` (aggregated across repeats of the same label).
+  class Phase {
+   public:
+    Phase(MachineProfile& prof, std::string label)
+        : prof_(prof), label_(std::move(label)),
+          start_(prof.machine_.ledger().snapshot()) {}
+    ~Phase() {
+      prof_.add(label_, prof_.machine_.ledger().snapshot() - start_);
+    }
+    Phase(const Phase&) = delete;
+    Phase& operator=(const Phase&) = delete;
+
+   private:
+    MachineProfile& prof_;
+    std::string label_;
+    CostSnapshot start_;
+  };
+
+  Phase phase(std::string label) { return Phase(*this, std::move(label)); }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  // Total across phases.
+  CostSnapshot total() const;
+
+  // Multi-line report: per-phase rounds, share of total, local ops.
+  std::string report() const;
+
+ private:
+  friend class Phase;
+  void add(const std::string& label, CostSnapshot delta);
+
+  Machine& machine_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace dyncg

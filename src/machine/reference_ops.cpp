@@ -1,0 +1,107 @@
+#include "machine/reference_ops.hpp"
+
+#include <algorithm>
+
+namespace dyncg {
+namespace fabric_reference {
+
+std::uint64_t allreduce_sum(const Topology& topo, std::vector<long>& values) {
+  std::size_t n = topo.size();
+  std::uint64_t rounds = 0;
+  for (unsigned k = 0; (std::size_t{1} << (k + 1)) <= n; ++k) {
+    std::vector<long> incoming = values;
+    rounds += exchange_offset(topo, k, incoming);
+    for (std::size_t r = 0; r < n; ++r) values[r] += incoming[r];
+  }
+  return rounds;
+}
+
+std::uint64_t prefix_sum(const Topology& topo, std::vector<long>& values) {
+  std::size_t n = topo.size();
+  std::vector<long> total = values;
+  std::uint64_t rounds = 0;
+  for (unsigned k = 0; (std::size_t{1} << (k + 1)) <= n; ++k) {
+    std::size_t stride = std::size_t{1} << k;
+    std::vector<long> incoming = total;
+    rounds += exchange_offset(topo, k, incoming);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r & stride) {
+        values[r] += incoming[r];
+        total[r] += incoming[r];
+      } else {
+        total[r] += incoming[r];
+      }
+    }
+  }
+  return rounds;
+}
+
+std::uint64_t mesh_broadcast(const MeshTopology& mesh, std::size_t src_rank,
+                             std::vector<long>& values) {
+  std::size_t side = mesh.side();
+  std::size_t n = mesh.size();
+  std::size_t src_node = mesh.node_of_rank(src_rank);
+  long payload = values[src_rank];
+
+  Fabric<long> fab(mesh);
+  std::vector<char> has(n, 0);
+  has[src_node] = 1;
+  std::vector<long> by_node(n, 0);
+  by_node[src_node] = payload;
+  std::size_t src_row = src_node / side;
+
+  auto all_have = [&has]() {
+    for (char h : has) {
+      if (!h) return false;
+    }
+    return true;
+  };
+  while (!all_have()) {
+    // Phase structure is implicit: a node forwards along its row only while
+    // on the source row, and down/up its column once it has the word.
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!has[v]) continue;
+      std::size_t row = v / side, col = v % side;
+      if (row == src_row) {
+        if (col > 0 && !has[v - 1]) fab.send(v, v - 1, by_node[v]);
+        if (col + 1 < side && !has[v + 1]) fab.send(v, v + 1, by_node[v]);
+      }
+      if (row > 0 && !has[v - side]) fab.send(v, v - side, by_node[v]);
+      if (row + 1 < side && !has[v + side]) fab.send(v, v + side, by_node[v]);
+    }
+    fab.deliver();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!fab.inbox(v).empty() && !has[v]) {
+        has[v] = 1;
+        by_node[v] = fab.inbox(v).front();
+      }
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r) values[r] = by_node[mesh.node_of_rank(r)];
+  return fab.rounds();
+}
+
+std::uint64_t bitonic_sort_reference(const Topology& topo,
+                                     std::vector<long>& values) {
+  std::size_t n = topo.size();
+  std::uint64_t rounds = 0;
+  for (std::size_t size = 2; size <= n; size <<= 1) {
+    for (std::size_t stride = size >> 1; stride >= 1; stride >>= 1) {
+      unsigned k = 0;
+      while ((std::size_t{1} << (k + 1)) <= stride) ++k;
+      std::vector<long> partner = values;
+      rounds += exchange_offset(topo, k, partner);
+      for (std::size_t r = 0; r < n; ++r) {
+        bool upper = (r & stride) != 0;
+        bool ascending = (r & size) == 0;
+        long lo = std::min(values[r], partner[r]);
+        long hi = std::max(values[r], partner[r]);
+        values[r] = (ascending == upper) ? hi : lo;
+      }
+    }
+  }
+  return rounds;
+}
+
+}  // namespace fabric_reference
+}  // namespace dyncg

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "machine/fabric.hpp"
+#include "machine/topology.hpp"
+
+// Hop-by-hop reference implementations of the basic Table 1 operations.
+//
+// The ops layer (Layer B) charges analytic pattern costs; these functions
+// execute the same algorithms one link traversal at a time through the
+// Fabric (Layer A), with per-link capacity enforced, and return the true
+// round counts.  The test suite runs both layers side by side: results must
+// agree and the Layer B charges must be achievable (reference rounds within
+// a small constant of the charge).
+namespace dyncg {
+namespace fabric_reference {
+
+// All-reduce (semigroup computation) by the XOR doubling ladder, executed
+// hop by hop.  On return every rank holds the sum; returns rounds used.
+std::uint64_t allreduce_sum(const Topology& topo, std::vector<long>& values);
+
+// Parallel prefix (inclusive sum scan) by the doubling ladder, hop by hop.
+std::uint64_t prefix_sum(const Topology& topo, std::vector<long>& values);
+
+// Mesh broadcast by the classic two-phase sweep: the source floods its row,
+// then every row PE floods its column; one word per link per round.
+// `values` indexed by rank; returns rounds used.
+std::uint64_t mesh_broadcast(const MeshTopology& mesh, std::size_t src_rank,
+                             std::vector<long>& values);
+
+// Full bitonic sort executed hop by hop: every compare-exchange stage
+// physically routes the partner values across the links.  Returns rounds;
+// on return `values` is ascending in rank order.  This validates the
+// composed Layer B sort charge (and with it every sort-based op: routing,
+// concurrent access, grouping, the envelope's merge steps).
+std::uint64_t bitonic_sort_reference(const Topology& topo,
+                                     std::vector<long>& values);
+
+}  // namespace fabric_reference
+}  // namespace dyncg

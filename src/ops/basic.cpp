@@ -1,0 +1,16 @@
+#include "ops/basic.hpp"
+
+// Explicit instantiations exercised by the test suite; keeps template errors
+// out of downstream translation units.
+namespace dyncg {
+namespace ops {
+
+template void reduce<long, std::plus<long>>(Machine&, std::vector<long>&,
+                                            std::plus<long>, std::size_t);
+template void prefix<long, std::plus<long>>(Machine&, std::vector<long>&,
+                                            std::plus<long>, std::size_t);
+template void broadcast<long>(Machine&, std::vector<long>&, std::size_t,
+                              std::size_t);
+
+}  // namespace ops
+}  // namespace dyncg

@@ -1,0 +1,13 @@
+#include "ops/crcw.hpp"
+
+// concurrent_read / concurrent_write are header templates; this unit anchors
+// the module and provides a smoke instantiation.
+namespace dyncg {
+namespace ops {
+
+template std::vector<std::optional<long>> concurrent_read<long, long>(
+    Machine&, const std::vector<std::optional<std::pair<long, long>>>&,
+    const std::vector<std::optional<long>>&, bool);
+
+}  // namespace ops
+}  // namespace dyncg

@@ -1,0 +1,18 @@
+#include "ops/sorting.hpp"
+
+namespace dyncg {
+namespace ops {
+
+template void bitonic_sort<long, std::less<long>>(Machine&,
+                                                  std::vector<long>&,
+                                                  std::less<long>,
+                                                  std::size_t);
+template void bitonic_merge<long, std::less<long>>(Machine&,
+                                                   std::vector<long>&,
+                                                   std::less<long>,
+                                                   std::size_t);
+template void odd_even_transposition_sort<long, std::less<long>>(
+    Machine&, std::vector<long>&, std::less<long>, std::size_t);
+
+}  // namespace ops
+}  // namespace dyncg

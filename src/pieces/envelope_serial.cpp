@@ -1,0 +1,29 @@
+#include "pieces/envelope_serial.hpp"
+
+#include "support/assert.hpp"
+
+namespace dyncg {
+
+PiecewiseFn lower_envelope_serial(const PolyFamily& fam) {
+  return envelope_serial_all(fam, /*take_min=*/true);
+}
+
+PiecewiseFn upper_envelope_serial(const PolyFamily& fam) {
+  return envelope_serial_all(fam, /*take_min=*/false);
+}
+
+int extremum_member_at(const PolyFamily& fam, double t, bool take_min) {
+  DYNCG_ASSERT(fam.size() > 0, "extremum over an empty family");
+  int best = 0;
+  double bv = fam.value(0, t);
+  for (int i = 1; i < static_cast<int>(fam.size()); ++i) {
+    double v = fam.value(i, t);
+    if (take_min ? v < bv : v > bv) {
+      best = i;
+      bv = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace dyncg

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "pieces/piecewise.hpp"
+
+// Serial construction of the minimum function h(t) = min{f_0, ..., f_{n-1}}
+// (Equation (1)).  This is the divide-and-conquer scheme of [Atallah 1985]
+// that Theorem 3.2 parallelizes: split the family in half, build both
+// sub-envelopes recursively, and combine them with the pairwise algorithm of
+// Lemma 3.1.  It serves as (a) the correctness oracle for the machine
+// implementations and (b) the serial baseline in the Section 6 comparison
+// benches.
+namespace dyncg {
+
+// Lower envelope of the given member ids.  Pass take_min = false for the
+// upper envelope (maximum function).
+template <class Family>
+PiecewiseFn envelope_serial(const Family& fam, const std::vector<int>& ids,
+                            bool take_min = true) {
+  if (ids.empty()) return PiecewiseFn{};
+  if (ids.size() == 1) return singleton_fn(fam, ids[0]);
+  std::size_t half = ids.size() / 2;
+  std::vector<int> left(ids.begin(), ids.begin() + static_cast<long>(half));
+  std::vector<int> right(ids.begin() + static_cast<long>(half), ids.end());
+  PiecewiseFn a = envelope_serial(fam, left, take_min);
+  PiecewiseFn b = envelope_serial(fam, right, take_min);
+  return combine_extremum(fam, a, b, take_min);
+}
+
+// Envelope over the entire family.
+template <class Family>
+PiecewiseFn envelope_serial_all(const Family& fam, bool take_min = true) {
+  std::vector<int> ids(fam.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int>(i);
+  return envelope_serial(fam, ids, take_min);
+}
+
+// Convenience wrappers for polynomial families.
+PiecewiseFn lower_envelope_serial(const PolyFamily& fam);
+PiecewiseFn upper_envelope_serial(const PolyFamily& fam);
+
+// Brute-force evaluation of the envelope at a time point, for tests: the
+// index of the minimal (or maximal) member at t, with ties broken toward the
+// smaller id.
+int extremum_member_at(const PolyFamily& fam, double t, bool take_min);
+
+}  // namespace dyncg

@@ -1,0 +1,112 @@
+#include "pieces/interval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace dyncg {
+
+double Interval::midpoint() const {
+  if (std::isinf(hi)) return lo + 1.0;
+  return 0.5 * (lo + hi);
+}
+
+std::string Interval::to_string() const {
+  std::ostringstream os;
+  os << "[" << lo << ", ";
+  if (std::isinf(hi)) {
+    os << "inf)";
+  } else {
+    os << hi << "]";
+  }
+  return os.str();
+}
+
+Interval intersect(const Interval& a, const Interval& b) {
+  return Interval{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+bool nondegenerate_intersection(const Interval& a, const Interval& b) {
+  Interval c = intersect(a, b);
+  return c.nondegenerate();
+}
+
+IntervalSet::IntervalSet(std::vector<Interval> ivs) : ivs_(std::move(ivs)) {
+  normalize();
+}
+
+void IntervalSet::normalize() {
+  std::vector<Interval> in;
+  for (const Interval& iv : ivs_) {
+    if (iv.nondegenerate()) in.push_back(iv);
+  }
+  std::sort(in.begin(), in.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  std::vector<Interval> out;
+  for (const Interval& iv : in) {
+    if (!out.empty() && iv.lo <= out.back().hi) {
+      out.back().hi = std::max(out.back().hi, iv.hi);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  ivs_.swap(out);
+}
+
+bool IntervalSet::contains(double t) const {
+  for (const Interval& iv : ivs_) {
+    if (iv.contains(t)) return true;
+    if (iv.lo > t) break;
+  }
+  return false;
+}
+
+double IntervalSet::measure() const {
+  double m = 0.0;
+  for (const Interval& iv : ivs_) m += iv.hi - iv.lo;
+  return m;
+}
+
+IntervalSet IntervalSet::unite(const IntervalSet& o) const {
+  std::vector<Interval> all = ivs_;
+  all.insert(all.end(), o.ivs_.begin(), o.ivs_.end());
+  return IntervalSet(std::move(all));
+}
+
+IntervalSet IntervalSet::intersect(const IntervalSet& o) const {
+  std::vector<Interval> out;
+  for (const Interval& a : ivs_) {
+    for (const Interval& b : o.ivs_) {
+      Interval c = dyncg::intersect(a, b);
+      if (c.nondegenerate()) out.push_back(c);
+    }
+  }
+  return IntervalSet(std::move(out));
+}
+
+IntervalSet IntervalSet::complement() const {
+  std::vector<Interval> out;
+  double cursor = 0.0;
+  for (const Interval& iv : ivs_) {
+    if (iv.lo > cursor) out.push_back(Interval{cursor, iv.lo});
+    cursor = std::max(cursor, iv.hi);
+    if (std::isinf(cursor)) break;
+  }
+  if (!std::isinf(cursor)) out.push_back(Interval{cursor, kInfinity});
+  return IntervalSet(std::move(out));
+}
+
+std::string IntervalSet::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < ivs_.size(); ++i) {
+    if (i) os << ", ";
+    os << ivs_[i].to_string();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace dyncg

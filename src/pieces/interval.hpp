@@ -1,0 +1,60 @@
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+// Time intervals within [0, +infinity) and sets of disjoint intervals.
+// Pieces of minimum/maximum functions (Section 2.5) carry closed intervals
+// whose interiors are disjoint; indicator functions (Theorems 4.5 and 4.6)
+// reduce to interval sets.
+namespace dyncg {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+struct Interval {
+  double lo = 0.0;
+  double hi = kInfinity;  // +infinity allowed for the final piece
+
+  bool nondegenerate() const { return hi > lo; }
+  bool contains(double t) const { return t >= lo && t <= hi; }
+  double midpoint() const;  // finite interior point, also for unbounded hi
+  std::string to_string() const;
+};
+
+// Intersection; may be empty (hi < lo) or degenerate (hi == lo).
+Interval intersect(const Interval& a, const Interval& b);
+
+// True iff the intersection contains more than one point (Section 2.5).
+bool nondegenerate_intersection(const Interval& a, const Interval& b);
+
+// A set of pairwise-disjoint, nondegenerate intervals kept sorted by lo.
+// Used for the outputs of the containment and hull-membership algorithms
+// ("the ordered list J of intervals during which ...").
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  explicit IntervalSet(std::vector<Interval> ivs);  // normalizes
+
+  const std::vector<Interval>& intervals() const { return ivs_; }
+  bool empty() const { return ivs_.empty(); }
+  std::size_t size() const { return ivs_.size(); }
+
+  bool contains(double t) const;
+
+  // Total measure; +infinity if any interval is unbounded.
+  double measure() const;
+
+  IntervalSet unite(const IntervalSet& o) const;
+  IntervalSet intersect(const IntervalSet& o) const;
+  // Complement within [0, +infinity).
+  IntervalSet complement() const;
+
+  std::string to_string() const;
+
+ private:
+  void normalize();
+  std::vector<Interval> ivs_;
+};
+
+}  // namespace dyncg

@@ -1,0 +1,37 @@
+#include "pieces/jump_family.hpp"
+
+#include "poly/roots.hpp"
+
+namespace dyncg {
+
+double JumpFamily::value(int id, double t) const {
+  return branch(id)(t);
+}
+
+bool JumpFamily::identical(int a, int b) const {
+  return branch(a) == branch(b);
+}
+
+std::vector<double> JumpFamily::crossings(int a, int b,
+                                          const Interval& iv) const {
+  RootFindResult rr = crossing_times(branch(a), branch(b), iv.lo);
+  std::vector<double> out;
+  if (rr.identically_zero) return out;
+  for (double r : rr.roots) {
+    if (r > iv.lo && r < iv.hi) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<Interval> JumpFamily::defined_intervals(int id) const {
+  const JumpMotion& m = motions_[static_cast<std::size_t>(id) / 2];
+  bool is_before = id % 2 == 0;
+  if (m.knot <= 0.0) {
+    if (is_before) return {};  // the before-branch never applies
+    return {Interval{0.0, kInfinity}};
+  }
+  if (is_before) return {Interval{0.0, m.knot}};
+  return {Interval{m.knot, kInfinity}};
+}
+
+}  // namespace dyncg

@@ -1,0 +1,360 @@
+#include "pieces/piecewise.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace dyncg {
+
+bool PiecewiseFn::well_formed(std::size_t family_size) const {
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    const Piece& p = pieces[i];
+    if (p.id < 0 || p.id >= static_cast<int>(family_size)) return false;
+    if (!p.iv.nondegenerate()) return false;
+    if (i > 0 && p.iv.lo < pieces[i - 1].iv.hi) return false;
+  }
+  return true;
+}
+
+int PiecewiseFn::id_at(double t) const {
+  for (const Piece& p : pieces) {
+    if (p.iv.contains(t)) return p.id;
+    if (p.iv.lo > t) break;
+  }
+  return -1;
+}
+
+std::vector<int> PiecewiseFn::origin_sequence() const {
+  std::vector<int> seq;
+  seq.reserve(pieces.size());
+  for (const Piece& p : pieces) seq.push_back(p.id);
+  return seq;
+}
+
+IntervalSet PiecewiseFn::support() const {
+  std::vector<Interval> ivs;
+  ivs.reserve(pieces.size());
+  for (const Piece& p : pieces) ivs.push_back(p.iv);
+  return IntervalSet(std::move(ivs));
+}
+
+std::string PiecewiseFn::to_string() const {
+  std::ostringstream os;
+  for (const Piece& p : pieces) {
+    os << "(f" << p.id << ", " << p.iv.to_string() << ") ";
+  }
+  return os.str();
+}
+
+namespace {
+
+// Active piece index of `fn` covering the interior of (a, b), or -1.  The
+// caller sweeps elementary intervals left to right; `cursor` is advanced
+// monotonically.
+int active_id(const PiecewiseFn& fn, std::size_t& cursor, double a) {
+  while (cursor < fn.pieces.size() && fn.pieces[cursor].iv.hi <= a) ++cursor;
+  if (cursor < fn.pieces.size() && fn.pieces[cursor].iv.lo <= a) {
+    return fn.pieces[cursor].id;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::vector<Cell> overlay(const PiecewiseFn& f, const PiecewiseFn& g) {
+  std::vector<double> events;
+  auto push_events = [&events](const PiecewiseFn& fn) {
+    for (const Piece& p : fn.pieces) {
+      events.push_back(p.iv.lo);
+      if (!std::isinf(p.iv.hi)) events.push_back(p.iv.hi);
+    }
+  };
+  push_events(f);
+  push_events(g);
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+  events.push_back(kInfinity);
+
+  std::vector<Cell> cells;
+  std::size_t fc = 0, gc = 0;
+  for (std::size_t i = 0; i + 1 < events.size(); ++i) {
+    double a = events[i], b = events[i + 1];
+    if (!(b > a)) continue;
+    int fa = active_id(f, fc, a);
+    int ga = active_id(g, gc, a);
+    if (fa < 0 && ga < 0) continue;
+    if (!cells.empty() && cells.back().a == fa && cells.back().b == ga &&
+        cells.back().iv.hi == a) {
+      cells.back().iv.hi = b;
+    } else {
+      cells.push_back(Cell{Interval{a, b}, fa, ga});
+    }
+  }
+  return cells;
+}
+
+void coalesce(PiecewiseFn& fn) {
+  std::vector<Piece> out;
+  for (const Piece& p : fn.pieces) {
+    if (!out.empty() && out.back().id == p.id && out.back().iv.hi == p.iv.lo) {
+      out.back().iv.hi = p.iv.hi;
+    } else {
+      out.push_back(p);
+    }
+  }
+  fn.pieces.swap(out);
+}
+
+bool PolyFamily::identical(int a, int b) const {
+  return members_[static_cast<std::size_t>(a)] ==
+         members_[static_cast<std::size_t>(b)];
+}
+
+std::vector<double> PolyFamily::crossings(int a, int b,
+                                          const Interval& iv) const {
+  RootFindResult rr = crossing_times(members_[static_cast<std::size_t>(a)],
+                                     members_[static_cast<std::size_t>(b)],
+                                     iv.lo);
+  std::vector<double> out;
+  for (double r : rr.roots) {
+    if (r > iv.lo && r < iv.hi) out.push_back(r);
+  }
+  return out;
+}
+
+// --- PiecewisePoly ---------------------------------------------------------
+
+PiecewisePoly PiecewisePoly::total(Polynomial p) {
+  return PiecewisePoly({Span{Interval{0.0, kInfinity}, std::move(p)}});
+}
+
+double PiecewisePoly::operator()(double t) const {
+  for (const Span& s : spans_) {
+    if (s.iv.contains(t)) return s.fn(t);
+    if (s.iv.lo > t) break;
+  }
+  DYNCG_ASSERT(false, "PiecewisePoly evaluated outside its support");
+  return 0.0;
+}
+
+namespace {
+
+int active_span(const std::vector<PiecewisePoly::Span>& spans,
+                std::size_t& cursor, double a) {
+  while (cursor < spans.size() && spans[cursor].iv.hi <= a) ++cursor;
+  if (cursor < spans.size() && spans[cursor].iv.lo <= a) {
+    return static_cast<int>(cursor);
+  }
+  return -1;
+}
+
+}  // namespace
+
+template <class Pick>
+PiecewisePoly PiecewisePoly::merge_with(const PiecewisePoly& o, Pick pick,
+                                        bool split_at_crossings) const {
+  std::vector<double> events;
+  auto push_events = [&events](const std::vector<Span>& spans) {
+    for (const Span& s : spans) {
+      events.push_back(s.iv.lo);
+      if (!std::isinf(s.iv.hi)) events.push_back(s.iv.hi);
+    }
+  };
+  push_events(spans_);
+  push_events(o.spans_);
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+  events.push_back(kInfinity);
+
+  std::vector<Span> out;
+  auto emit = [&out](const Interval& iv, const Polynomial& fn) {
+    if (!iv.nondegenerate()) return;
+    if (!out.empty() && out.back().iv.hi == iv.lo && out.back().fn == fn) {
+      out.back().iv.hi = iv.hi;
+    } else {
+      out.push_back(Span{iv, fn});
+    }
+  };
+
+  std::size_t ci = 0, cj = 0;
+  for (std::size_t e = 0; e + 1 < events.size(); ++e) {
+    double a = events[e], b = events[e + 1];
+    if (!(b > a)) continue;
+    int si = active_span(spans_, ci, a);
+    int sj = active_span(o.spans_, cj, a);
+    if (si < 0 && sj < 0) continue;
+    Interval iv{a, b};
+    if (si < 0 || sj < 0) {
+      // pick() decides how one-sided cells behave (gap for +/-, pass-through
+      // for min/max).
+      const Polynomial* lone =
+          si >= 0 ? &spans_[static_cast<std::size_t>(si)].fn
+                  : &o.spans_[static_cast<std::size_t>(sj)].fn;
+      if (const Polynomial* r = pick(si >= 0 ? lone : nullptr,
+                                     sj >= 0 ? lone : nullptr, iv.midpoint());
+          r != nullptr) {
+        emit(iv, *r);
+      }
+      continue;
+    }
+    const Polynomial& pf = spans_[static_cast<std::size_t>(si)].fn;
+    const Polynomial& pg = o.spans_[static_cast<std::size_t>(sj)].fn;
+    if (!split_at_crossings) {
+      const Polynomial* r = pick(&pf, &pg, iv.midpoint());
+      DYNCG_ASSERT(r != nullptr, "arithmetic pick must produce a value");
+      emit(iv, *r);
+      continue;
+    }
+    // min/max: split the cell at the crossings of pf - pg.
+    RootFindResult rr = crossing_times(pf, pg, iv.lo);
+    double lo = iv.lo;
+    std::vector<double> cuts;
+    if (!rr.identically_zero) {
+      for (double r : rr.roots) {
+        if (r > iv.lo && r < iv.hi) cuts.push_back(r);
+      }
+    }
+    for (std::size_t c = 0; c <= cuts.size(); ++c) {
+      double hi = (c < cuts.size()) ? cuts[c] : iv.hi;
+      Interval sub{lo, hi};
+      if (sub.nondegenerate()) {
+        const Polynomial* r = pick(&pf, &pg, sub.midpoint());
+        DYNCG_ASSERT(r != nullptr, "min/max pick must produce a value");
+        emit(sub, *r);
+      }
+      lo = hi;
+    }
+  }
+  return PiecewisePoly(std::move(out));
+}
+
+PiecewisePoly PiecewisePoly::operator+(const PiecewisePoly& o) const {
+  // Sums are only defined where both operands are; storage keeps the sum
+  // polynomial per cell.
+  std::vector<Polynomial> scratch;
+  scratch.reserve(64);
+  auto pick = [&scratch](const Polynomial* a, const Polynomial* b,
+                         double) -> const Polynomial* {
+    if (a == nullptr || b == nullptr) return nullptr;
+    scratch.push_back(*a + *b);
+    return &scratch.back();
+  };
+  // NOTE: scratch may reallocate; emit copies immediately inside merge_with,
+  // so returning the address of the just-pushed element is safe.
+  return merge_with(o, pick, /*split_at_crossings=*/false);
+}
+
+PiecewisePoly PiecewisePoly::operator-(const PiecewisePoly& o) const {
+  std::vector<Polynomial> scratch;
+  scratch.reserve(64);
+  auto pick = [&scratch](const Polynomial* a, const Polynomial* b,
+                         double) -> const Polynomial* {
+    if (a == nullptr || b == nullptr) return nullptr;
+    scratch.push_back(*a - *b);
+    return &scratch.back();
+  };
+  return merge_with(o, pick, /*split_at_crossings=*/false);
+}
+
+PiecewisePoly PiecewisePoly::min_with(const PiecewisePoly& o) const {
+  auto pick = [](const Polynomial* a, const Polynomial* b,
+                 double m) -> const Polynomial* {
+    if (a == nullptr) return b;
+    if (b == nullptr) return a;
+    return (*a)(m) <= (*b)(m) ? a : b;
+  };
+  return merge_with(o, pick, /*split_at_crossings=*/true);
+}
+
+PiecewisePoly PiecewisePoly::max_with(const PiecewisePoly& o) const {
+  auto pick = [](const Polynomial* a, const Polynomial* b,
+                 double m) -> const Polynomial* {
+    if (a == nullptr) return b;
+    if (b == nullptr) return a;
+    return (*a)(m) >= (*b)(m) ? a : b;
+  };
+  return merge_with(o, pick, /*split_at_crossings=*/true);
+}
+
+IntervalSet PiecewisePoly::sublevel_set(double threshold) const {
+  std::vector<Interval> hit;
+  for (const Span& s : spans_) {
+    Polynomial shifted = s.fn - Polynomial::constant(threshold);
+    RootFindResult rr = real_roots_from(shifted, s.iv.lo);
+    std::vector<double> cuts;
+    if (!rr.identically_zero) {
+      for (double r : rr.roots) {
+        if (r > s.iv.lo && r < s.iv.hi) cuts.push_back(r);
+      }
+    }
+    double lo = s.iv.lo;
+    for (std::size_t c = 0; c <= cuts.size(); ++c) {
+      double hi = (c < cuts.size()) ? cuts[c] : s.iv.hi;
+      Interval sub{lo, hi};
+      if (sub.nondegenerate() && s.fn(sub.midpoint()) <= threshold) {
+        hit.push_back(sub);
+      }
+      lo = hi;
+    }
+  }
+  return IntervalSet(std::move(hit));
+}
+
+PiecewisePoly::Extremum PiecewisePoly::global_min() const {
+  DYNCG_ASSERT(!spans_.empty(), "global_min of empty piecewise polynomial");
+  Extremum best{kInfinity, 0.0};
+  auto consider = [&best](double v, double t) {
+    if (v < best.value) best = Extremum{v, t};
+  };
+  for (const Span& s : spans_) {
+    consider(s.fn(s.iv.lo), s.iv.lo);
+    if (std::isinf(s.iv.hi)) {
+      DYNCG_ASSERT(s.fn.sign_at_infinity() >= 0,
+                   "global_min unbounded below on an infinite span");
+    } else {
+      consider(s.fn(s.iv.hi), s.iv.hi);
+    }
+    RootFindResult crit = real_roots_from(s.fn.derivative(), s.iv.lo);
+    if (!crit.identically_zero) {
+      for (double t : crit.roots) {
+        if (t > s.iv.lo && t < s.iv.hi) consider(s.fn(t), t);
+      }
+    }
+  }
+  return best;
+}
+
+void PiecewisePoly::coalesce() {
+  std::vector<Span> out;
+  for (const Span& s : spans_) {
+    if (!out.empty() && out.back().iv.hi == s.iv.lo && out.back().fn == s.fn) {
+      out.back().iv.hi = s.iv.hi;
+    } else {
+      out.push_back(s);
+    }
+  }
+  spans_.swap(out);
+}
+
+std::string PiecewisePoly::to_string() const {
+  std::ostringstream os;
+  for (const Span& s : spans_) {
+    os << "(" << s.fn.to_string() << ", " << s.iv.to_string() << ") ";
+  }
+  return os.str();
+}
+
+PiecewisePoly materialize(const PolyFamily& fam, const PiecewiseFn& fn) {
+  std::vector<PiecewisePoly::Span> spans;
+  spans.reserve(fn.pieces.size());
+  for (const Piece& p : fn.pieces) {
+    spans.push_back(PiecewisePoly::Span{p.iv, fam.member(p.id)});
+  }
+  PiecewisePoly out(std::move(spans));
+  out.coalesce();
+  return out;
+}
+
+}  // namespace dyncg

@@ -1,0 +1,52 @@
+#include "pieces/sqrt_family.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dyncg {
+
+double SqrtMotion::operator()(double t) const {
+  return a + b * std::sqrt(t) + c * t;
+}
+
+double SqrtFamily::value(int id, double t) const {
+  return members_[static_cast<std::size_t>(id)](t);
+}
+
+bool SqrtFamily::identical(int a, int b) const {
+  const SqrtMotion& x = members_[static_cast<std::size_t>(a)];
+  const SqrtMotion& y = members_[static_cast<std::size_t>(b)];
+  return x.a == y.a && x.b == y.b && x.c == y.c;
+}
+
+std::vector<double> SqrtFamily::crossings(int a, int b,
+                                          const Interval& iv) const {
+  const SqrtMotion& f = members_[static_cast<std::size_t>(a)];
+  const SqrtMotion& g = members_[static_cast<std::size_t>(b)];
+  // f - g = da + db x + dc x^2 with x = sqrt(t) >= 0.
+  double da = f.a - g.a, db = f.b - g.b, dc = f.c - g.c;
+  std::vector<double> xs;
+  constexpr double kTiny = 1e-14;
+  if (std::fabs(dc) < kTiny) {
+    if (std::fabs(db) >= kTiny) xs.push_back(-da / db);
+  } else {
+    double disc = db * db - 4 * dc * da;
+    if (disc >= 0) {
+      double sq = std::sqrt(disc);
+      double q = -0.5 * (db + (db >= 0 ? sq : -sq));
+      xs.push_back(q / dc);
+      if (q != 0.0) xs.push_back(da / q);
+    }
+  }
+  std::vector<double> out;
+  for (double x : xs) {
+    if (x < 0) continue;  // sqrt(t) is nonnegative
+    double t = x * x;
+    if (t > iv.lo && t < iv.hi) out.push_back(t);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace dyncg

@@ -1,0 +1,8 @@
+#include "poly/asymptotic.hpp"
+
+// AsymptoticPoly is header-only; this translation unit exists so the module
+// shows up in the archive and gets its own compile-time checks.
+namespace dyncg {
+static_assert(sizeof(AsymptoticPoly) >= sizeof(Polynomial),
+              "AsymptoticPoly wraps a Polynomial");
+}  // namespace dyncg

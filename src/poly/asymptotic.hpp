@@ -1,0 +1,65 @@
+#pragma once
+
+#include "poly/polynomial.hpp"
+
+// The ordered ring of polynomial germs at t = +infinity.
+//
+// Lemma 5.1 says the steady-state minimum of two bounded-degree polynomials
+// is computable in Theta(1) time.  Section 5 uses it to reduce every
+// steady-state problem to its *static* analog: all the static geometric
+// algorithms only ever ask sign questions (orientations, distance
+// comparisons) about values built from coordinates with +, -, *.  Ordering
+// polynomials by their eventual (t -> infinity) order therefore lets one and
+// the same static algorithm run on moving points: instantiate it with
+// AsymptoticPoly coordinates instead of double coordinates, and every
+// comparison becomes a Lemma 5.1 steady-state comparison.
+namespace dyncg {
+
+class AsymptoticPoly {
+ public:
+  AsymptoticPoly() = default;
+  AsymptoticPoly(double c) : p_(Polynomial::constant(c)) {}  // NOLINT: ring literal
+  explicit AsymptoticPoly(Polynomial p) : p_(std::move(p)) {}
+
+  const Polynomial& poly() const { return p_; }
+
+  AsymptoticPoly operator+(const AsymptoticPoly& o) const {
+    return AsymptoticPoly(p_ + o.p_);
+  }
+  AsymptoticPoly operator-(const AsymptoticPoly& o) const {
+    return AsymptoticPoly(p_ - o.p_);
+  }
+  AsymptoticPoly operator*(const AsymptoticPoly& o) const {
+    return AsymptoticPoly(p_ * o.p_);
+  }
+  AsymptoticPoly operator-() const { return AsymptoticPoly(-p_); }
+
+  AsymptoticPoly& operator+=(const AsymptoticPoly& o) { p_ += o.p_; return *this; }
+  AsymptoticPoly& operator-=(const AsymptoticPoly& o) { p_ -= o.p_; return *this; }
+  AsymptoticPoly& operator*=(const AsymptoticPoly& o) { p_ *= o.p_; return *this; }
+
+  // Total order by eventual value (Lemma 5.1).
+  bool operator<(const AsymptoticPoly& o) const {
+    return compare_at_infinity(p_, o.p_) < 0;
+  }
+  bool operator>(const AsymptoticPoly& o) const { return o < *this; }
+  bool operator<=(const AsymptoticPoly& o) const { return !(o < *this); }
+  bool operator>=(const AsymptoticPoly& o) const { return !(*this < o); }
+  bool operator==(const AsymptoticPoly& o) const {
+    return compare_at_infinity(p_, o.p_) == 0;
+  }
+  bool operator!=(const AsymptoticPoly& o) const { return !(*this == o); }
+
+  // Sign of the germ: -1, 0, +1.
+  int sign() const { return p_.sign_at_infinity(); }
+
+ private:
+  Polynomial p_;
+};
+
+// Coordinate-concept helpers, so generic geometry can say sign_of(x) for both
+// doubles and germs.
+inline int sign_of(double x) { return x > 0 ? 1 : (x < 0 ? -1 : 0); }
+inline int sign_of(const AsymptoticPoly& x) { return x.sign(); }
+
+}  // namespace dyncg

@@ -1,0 +1,192 @@
+#include "poly/bigfloat.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace dyncg {
+namespace {
+
+using Limbs = std::vector<std::uint32_t>;
+
+Limbs add_mag(const Limbs& a, const Limbs& b) {
+  Limbs out;
+  out.reserve(std::max(a.size(), b.size()) + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
+    std::uint64_t s = carry;
+    if (i < a.size()) s += a[i];
+    if (i < b.size()) s += b[i];
+    out.push_back(static_cast<std::uint32_t>(s));
+    carry = s >> 32;
+  }
+  if (carry) out.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+// a - b, requires a >= b.
+Limbs sub_mag(const Limbs& a, const Limbs& b) {
+  Limbs out;
+  out.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t d = static_cast<std::int64_t>(a[i]) - borrow -
+                     (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (d < 0) {
+      d += std::int64_t{1} << 32;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<std::uint32_t>(d));
+  }
+  DYNCG_ASSERT(borrow == 0, "sub_mag underflow");
+  return out;
+}
+
+Limbs mul_mag(const Limbs& a, const Limbs& b) {
+  if (a.empty() || b.empty()) return {};
+  Limbs out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::uint64_t cur = out[i + j] +
+                          static_cast<std::uint64_t>(a[i]) * b[j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry) {
+      std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int BigFloat::compare_mag(const Limbs& a, const Limbs& b) {
+  std::size_t n = std::max(a.size(), b.size());
+  for (std::size_t i = n; i-- > 0;) {
+    std::uint32_t av = i < a.size() ? a[i] : 0;
+    std::uint32_t bv = i < b.size() ? b[i] : 0;
+    if (av != bv) return av < bv ? -1 : 1;
+  }
+  return 0;
+}
+
+void BigFloat::normalize() {
+  while (!mag_.empty() && mag_.back() == 0) mag_.pop_back();
+  // Shift out all-zero low limbs into the exponent.
+  std::size_t drop = 0;
+  while (drop < mag_.size() && mag_[drop] == 0) ++drop;
+  if (drop > 0) {
+    mag_.erase(mag_.begin(), mag_.begin() + static_cast<long>(drop));
+    exp32_ += static_cast<long>(drop);
+  }
+  if (mag_.empty()) {
+    exp32_ = 0;
+    neg_ = false;
+  }
+}
+
+BigFloat::BigFloat(double x) {
+  DYNCG_ASSERT(std::isfinite(x), "BigFloat of a non-finite double");
+  if (x == 0.0) return;
+  neg_ = x < 0;
+  int bexp = 0;
+  double frac = std::frexp(std::fabs(x), &bexp);
+  // frac in [0.5, 1): mantissa = frac * 2^53 is an integer.
+  std::uint64_t mant = static_cast<std::uint64_t>(std::ldexp(frac, 53));
+  long e = bexp - 53;  // x = +-mant * 2^e
+  // Align e to a multiple of 32: shift the mantissa left by (e mod 32).
+  long shift = ((e % 32) + 32) % 32;
+  exp32_ = (e - shift) / 32;
+  // mant << shift fits in 96 bits.
+  std::uint64_t lo = shift < 64 ? (mant << shift) : 0;
+  std::uint64_t hi =
+      shift == 0 ? 0 : (mant >> (64 - shift));
+  mag_.push_back(static_cast<std::uint32_t>(lo));
+  mag_.push_back(static_cast<std::uint32_t>(lo >> 32));
+  mag_.push_back(static_cast<std::uint32_t>(hi));
+  mag_.push_back(static_cast<std::uint32_t>(hi >> 32));
+  normalize();
+}
+
+BigFloat BigFloat::from_int(long v) {
+  return BigFloat(static_cast<double>(v));  // exact for |v| < 2^53
+}
+
+BigFloat BigFloat::operator-() const {
+  BigFloat r = *this;
+  if (!r.mag_.empty()) r.neg_ = !r.neg_;
+  return r;
+}
+
+BigFloat BigFloat::operator+(const BigFloat& o) const {
+  if (is_zero()) return o;
+  if (o.is_zero()) return *this;
+  // Align both operands to the smaller limb exponent.
+  long e = std::min(exp32_, o.exp32_);
+  Limbs a = mag_, b = o.mag_;
+  a.insert(a.begin(), static_cast<std::size_t>(exp32_ - e), 0u);
+  b.insert(b.begin(), static_cast<std::size_t>(o.exp32_ - e), 0u);
+  BigFloat out;
+  out.exp32_ = e;
+  if (neg_ == o.neg_) {
+    out.mag_ = add_mag(a, b);
+    out.neg_ = neg_;
+  } else {
+    int c = compare_mag(a, b);
+    if (c == 0) return BigFloat();
+    if (c > 0) {
+      out.mag_ = sub_mag(a, b);
+      out.neg_ = neg_;
+    } else {
+      out.mag_ = sub_mag(b, a);
+      out.neg_ = o.neg_;
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+BigFloat BigFloat::operator-(const BigFloat& o) const { return *this + (-o); }
+
+BigFloat BigFloat::operator*(const BigFloat& o) const {
+  BigFloat out;
+  out.mag_ = mul_mag(mag_, o.mag_);
+  out.exp32_ = exp32_ + o.exp32_;
+  out.neg_ = neg_ != o.neg_;
+  out.normalize();
+  return out;
+}
+
+double BigFloat::approx() const {
+  double v = 0;
+  for (std::size_t i = mag_.size(); i-- > 0;) {
+    v = v * 4294967296.0 + static_cast<double>(mag_[i]);
+  }
+  v = v * std::pow(2.0, 32.0 * static_cast<double>(exp32_));
+  return neg_ ? -v : v;
+}
+
+int exact_orient2d(double ax, double ay, double bx, double by, double cx,
+                   double cy) {
+  BigFloat AX(ax), AY(ay), BX(bx), BY(by), CX(cx), CY(cy);
+  BigFloat det = (BX - AX) * (CY - AY) - (BY - AY) * (CX - AX);
+  return det.sign();
+}
+
+int exact_compare_dist2(double px, double py, double qx, double qy, double rx,
+                        double ry, double sx, double sy) {
+  BigFloat PX(px), PY(py), QX(qx), QY(qy), RX(rx), RY(ry), SX(sx), SY(sy);
+  BigFloat dpq = (PX - QX) * (PX - QX) + (PY - QY) * (PY - QY);
+  BigFloat drs = (RX - SX) * (RX - SX) + (RY - SY) * (RY - SY);
+  return (dpq - drs).sign();
+}
+
+}  // namespace dyncg

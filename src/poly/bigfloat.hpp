@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+// Exact binary floating arithmetic for predicate verification.
+//
+// Every finite double is the rational m * 2^e with integer mantissa m and
+// exponent e, so sums, differences, and products of doubles are *exactly
+// representable* in arbitrary-precision binary.  BigFloat implements that
+// ring (no rounding anywhere), which is all a geometric sign predicate
+// needs: orientation tests and squared-distance comparisons are polynomial
+// in the inputs.  The test suite uses it as ground truth to measure where
+// the fast double predicates start misclassifying near-degenerate inputs.
+namespace dyncg {
+
+class BigFloat {
+ public:
+  BigFloat() = default;                 // zero
+  explicit BigFloat(double x);          // exact conversion
+  static BigFloat from_int(long v);
+
+  bool is_zero() const { return mag_.empty(); }
+  int sign() const { return mag_.empty() ? 0 : (neg_ ? -1 : 1); }
+
+  BigFloat operator+(const BigFloat& o) const;
+  BigFloat operator-(const BigFloat& o) const;
+  BigFloat operator*(const BigFloat& o) const;
+  BigFloat operator-() const;
+
+  bool operator==(const BigFloat& o) const { return (*this - o).is_zero(); }
+  bool operator<(const BigFloat& o) const { return (*this - o).sign() < 0; }
+
+  // Approximate value, for diagnostics only.
+  double approx() const;
+
+ private:
+  void normalize();
+  // Compare magnitudes of aligned operands (helper for add/sub).
+  static int compare_mag(const std::vector<std::uint32_t>& a,
+                         const std::vector<std::uint32_t>& b);
+
+  // Magnitude in base 2^32, little-endian limbs; value =
+  // (neg ? -1 : 1) * mag * 2^(32 * exp32).
+  std::vector<std::uint32_t> mag_;
+  long exp32_ = 0;
+  bool neg_ = false;
+};
+
+// Exact geometric predicates over double inputs.
+
+// Sign of the orientation determinant
+// (bx-ax)(cy-ay) - (by-ay)(cx-ax): +1 ccw, 0 collinear, -1 cw.  Exact.
+int exact_orient2d(double ax, double ay, double bx, double by, double cx,
+                   double cy);
+
+// Sign of |pq|^2 - |rs|^2 for the four points.  Exact.
+int exact_compare_dist2(double px, double py, double qx, double qy, double rx,
+                        double ry, double sx, double sy);
+
+}  // namespace dyncg

@@ -1,0 +1,146 @@
+#include "poly/polynomial.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace dyncg {
+namespace {
+
+// Coefficients smaller than this relative to the largest coefficient are
+// treated as numerical noise when trimming the leading terms.  Keeping the
+// threshold tight matters: a spurious leading coefficient changes the degree
+// and therefore the sign at infinity.
+constexpr double kTrimRel = 1e-12;
+
+}  // namespace
+
+Polynomial::Polynomial(std::vector<double> coeffs)
+    : coeffs_(std::move(coeffs)) {
+  trim();
+}
+
+Polynomial Polynomial::constant(double c) { return Polynomial({c}); }
+
+Polynomial Polynomial::monomial(double a, int d) {
+  DYNCG_ASSERT(d >= 0, "negative monomial degree");
+  std::vector<double> c(static_cast<std::size_t>(d) + 1, 0.0);
+  c.back() = a;
+  return Polynomial(std::move(c));
+}
+
+Polynomial Polynomial::from_roots(const std::vector<double>& roots) {
+  Polynomial p = constant(1.0);
+  for (double r : roots) p *= Polynomial({-r, 1.0});
+  return p;
+}
+
+void Polynomial::trim() {
+  double maxmag = 0.0;
+  for (double c : coeffs_) maxmag = std::max(maxmag, std::fabs(c));
+  if (maxmag == 0.0) {
+    coeffs_.clear();
+    return;
+  }
+  while (!coeffs_.empty() && std::fabs(coeffs_.back()) <= kTrimRel * maxmag) {
+    coeffs_.pop_back();
+  }
+}
+
+double Polynomial::leading_coefficient() const {
+  return coeffs_.empty() ? 0.0 : coeffs_.back();
+}
+
+double Polynomial::coefficient(int i) const {
+  if (i < 0 || i >= static_cast<int>(coeffs_.size())) return 0.0;
+  return coeffs_[static_cast<std::size_t>(i)];
+}
+
+double Polynomial::operator()(double t) const {
+  double v = 0.0;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) v = v * t + coeffs_[i];
+  return v;
+}
+
+Polynomial Polynomial::derivative() const {
+  if (coeffs_.size() <= 1) return Polynomial();
+  std::vector<double> d(coeffs_.size() - 1);
+  for (std::size_t i = 1; i < coeffs_.size(); ++i) {
+    d[i - 1] = coeffs_[i] * static_cast<double>(i);
+  }
+  return Polynomial(std::move(d));
+}
+
+Polynomial Polynomial::operator+(const Polynomial& o) const {
+  std::vector<double> c(std::max(coeffs_.size(), o.coeffs_.size()), 0.0);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) c[i] += coeffs_[i];
+  for (std::size_t i = 0; i < o.coeffs_.size(); ++i) c[i] += o.coeffs_[i];
+  return Polynomial(std::move(c));
+}
+
+Polynomial Polynomial::operator-(const Polynomial& o) const {
+  std::vector<double> c(std::max(coeffs_.size(), o.coeffs_.size()), 0.0);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) c[i] += coeffs_[i];
+  for (std::size_t i = 0; i < o.coeffs_.size(); ++i) c[i] -= o.coeffs_[i];
+  return Polynomial(std::move(c));
+}
+
+Polynomial Polynomial::operator*(const Polynomial& o) const {
+  if (coeffs_.empty() || o.coeffs_.empty()) return Polynomial();
+  std::vector<double> c(coeffs_.size() + o.coeffs_.size() - 1, 0.0);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    for (std::size_t j = 0; j < o.coeffs_.size(); ++j) {
+      c[i + j] += coeffs_[i] * o.coeffs_[j];
+    }
+  }
+  return Polynomial(std::move(c));
+}
+
+Polynomial Polynomial::operator*(double s) const {
+  std::vector<double> c = coeffs_;
+  for (double& x : c) x *= s;
+  return Polynomial(std::move(c));
+}
+
+Polynomial Polynomial::operator-() const { return *this * -1.0; }
+
+int Polynomial::sign_at_infinity() const {
+  if (coeffs_.empty()) return 0;
+  return coeffs_.back() > 0 ? 1 : -1;
+}
+
+double Polynomial::root_bound() const {
+  if (coeffs_.size() <= 1) return 0.0;
+  double lead = std::fabs(coeffs_.back());
+  double maxq = 0.0;
+  for (std::size_t i = 0; i + 1 < coeffs_.size(); ++i) {
+    maxq = std::max(maxq, std::fabs(coeffs_[i]) / lead);
+  }
+  return 1.0 + maxq;
+}
+
+std::string Polynomial::to_string() const {
+  if (coeffs_.empty()) return "0";
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    if (coeffs_[i] == 0.0 && coeffs_.size() > 1) continue;
+    if (!first) os << (coeffs_[i] >= 0 ? " + " : " - ");
+    double mag = first ? coeffs_[i] : std::fabs(coeffs_[i]);
+    if (i == 0) {
+      os << mag;
+    } else {
+      os << mag << " t";
+      if (i > 1) os << "^" << i;
+    }
+    first = false;
+  }
+  return os.str();
+}
+
+int compare_at_infinity(const Polynomial& f, const Polynomial& g) {
+  return (f - g).sign_at_infinity();
+}
+
+}  // namespace dyncg

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+// Dense univariate polynomials with real (double) coefficients.  These are
+// the trajectory coordinates of the paper's k-motion model (Section 2.4) and
+// everything derived from them: squared distances (degree <= 2k), support
+// line offsets, rectangle areas (degree <= 8k), ...
+namespace dyncg {
+
+class Polynomial {
+ public:
+  // The zero polynomial.
+  Polynomial() = default;
+
+  // Coefficients in ascending order: c[0] + c[1] t + c[2] t^2 + ...
+  explicit Polynomial(std::vector<double> coeffs);
+
+  // Convenience: constant polynomial.
+  static Polynomial constant(double c);
+
+  // Convenience: the monomial a t^d.
+  static Polynomial monomial(double a, int d);
+
+  // Monic polynomial with the given real roots.
+  static Polynomial from_roots(const std::vector<double>& roots);
+
+  // Degree; the zero polynomial reports degree -1.
+  int degree() const { return static_cast<int>(coeffs_.size()) - 1; }
+
+  bool is_zero() const { return coeffs_.empty(); }
+
+  double leading_coefficient() const;
+
+  // Coefficient of t^i (zero when i exceeds the degree).
+  double coefficient(int i) const;
+
+  const std::vector<double>& coefficients() const { return coeffs_; }
+
+  // Horner evaluation.
+  double operator()(double t) const;
+
+  Polynomial derivative() const;
+
+  Polynomial operator+(const Polynomial& o) const;
+  Polynomial operator-(const Polynomial& o) const;
+  Polynomial operator*(const Polynomial& o) const;
+  Polynomial operator*(double s) const;
+  Polynomial operator-() const;
+
+  Polynomial& operator+=(const Polynomial& o) { return *this = *this + o; }
+  Polynomial& operator-=(const Polynomial& o) { return *this = *this - o; }
+  Polynomial& operator*=(const Polynomial& o) { return *this = *this * o; }
+
+  // Exact structural equality of trimmed coefficient vectors.
+  bool operator==(const Polynomial& o) const { return coeffs_ == o.coeffs_; }
+  bool operator!=(const Polynomial& o) const { return !(*this == o); }
+
+  // Sign of the polynomial as t -> +infinity: -1, 0 (identically zero), +1.
+  // This is the Lemma 5.1 primitive: a steady-state comparison of two
+  // polynomials is the sign at infinity of their difference, computable in
+  // O(1) time from the leading coefficient.
+  int sign_at_infinity() const;
+
+  // Cauchy bound: all real roots lie in [-B, B].  Returns 0 for constants.
+  double root_bound() const;
+
+  // Human-readable form, e.g. "3 - t + 2 t^2".
+  std::string to_string() const;
+
+ private:
+  void trim();
+
+  std::vector<double> coeffs_;  // ascending powers, trailing zeros trimmed
+};
+
+inline Polynomial operator*(double s, const Polynomial& p) { return p * s; }
+
+// Steady-state comparison (Lemma 5.1): the sign of f - g as t -> infinity.
+// Returns -1 if f < g eventually, 0 if f == g identically, +1 if f > g.
+int compare_at_infinity(const Polynomial& f, const Polynomial& g);
+
+}  // namespace dyncg

@@ -1,0 +1,151 @@
+#include "poly/roots.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace dyncg {
+namespace {
+
+constexpr double kAbsTol = 1e-10;   // |p(t)| below scale * this counts as 0
+constexpr double kRootTol = 1e-12;  // bisection interval width target
+constexpr int kBisectIters = 200;
+
+double magnitude_scale(const Polynomial& p) {
+  double m = 0.0;
+  for (double c : p.coefficients()) m = std::max(m, std::fabs(c));
+  return m == 0.0 ? 1.0 : m;
+}
+
+// Bisection on [lo, hi] where p(lo) and p(hi) have strictly opposite signs.
+double bisect(const Polynomial& p, double lo, double hi) {
+  double flo = p(lo);
+  for (int it = 0; it < kBisectIters && hi - lo > kRootTol * (1 + std::fabs(lo) + std::fabs(hi)); ++it) {
+    double mid = 0.5 * (lo + hi);
+    double fm = p(mid);
+    if (fm == 0.0) return mid;
+    if ((flo < 0) != (fm < 0)) {
+      hi = mid;
+    } else {
+      lo = mid;
+      flo = fm;
+    }
+  }
+  double r = 0.5 * (lo + hi);
+  // Newton polish (guarded: keep within the bracket).
+  Polynomial dp = p.derivative();
+  for (int it = 0; it < 4; ++it) {
+    double d = dp(r);
+    if (d == 0.0) break;
+    double step = p(r) / d;
+    double cand = r - step;
+    if (cand < lo || cand > hi) break;
+    r = cand;
+  }
+  return r;
+}
+
+void dedup_sorted(std::vector<double>& v, double tol) {
+  std::sort(v.begin(), v.end());
+  std::vector<double> out;
+  for (double x : v) {
+    if (out.empty() || x - out.back() > tol) out.push_back(x);
+  }
+  v.swap(out);
+}
+
+// Core recursion: distinct roots of p on [lo, hi], assuming p not identically
+// zero.  `scale` is the magnitude of the original polynomial's coefficients.
+std::vector<double> roots_rec(const Polynomial& p, double lo, double hi,
+                              double scale) {
+  std::vector<double> out;
+  int deg = p.degree();
+  if (deg <= 0) return out;
+  if (deg == 1) {
+    double r = -p.coefficient(0) / p.coefficient(1);
+    if (r >= lo && r <= hi) out.push_back(r);
+    return out;
+  }
+  if (deg == 2) {
+    double a = p.coefficient(2), b = p.coefficient(1), c = p.coefficient(0);
+    double disc = b * b - 4 * a * c;
+    // Tangency tolerance relative to the coefficient scale.
+    double dtol = kAbsTol * scale * scale;
+    if (disc > dtol) {
+      double sq = std::sqrt(disc);
+      // Numerically stable quadratic roots.
+      double q = -0.5 * (b + (b >= 0 ? sq : -sq));
+      double r1 = q / a;
+      double r2 = (q == 0.0) ? r1 : c / q;
+      if (r1 > r2) std::swap(r1, r2);
+      if (r1 >= lo && r1 <= hi) out.push_back(r1);
+      if (r2 >= lo && r2 <= hi && r2 != r1) out.push_back(r2);
+    } else if (disc >= -dtol) {
+      double r = -b / (2 * a);
+      if (r >= lo && r <= hi) out.push_back(r);
+    }
+    return out;
+  }
+  // General case: critical points split [lo, hi] into monotone intervals.
+  std::vector<double> crit = roots_rec(p.derivative(), lo, hi, scale);
+  std::vector<double> knots;
+  knots.push_back(lo);
+  for (double c : crit) {
+    if (c > knots.back()) knots.push_back(c);
+  }
+  if (hi > knots.back()) knots.push_back(hi);
+
+  double tol = kAbsTol * scale;
+  for (std::size_t i = 0; i + 1 < knots.size(); ++i) {
+    double a = knots[i], b = knots[i + 1];
+    double fa = p(a), fb = p(b);
+    bool za = std::fabs(fa) <= tol, zb = std::fabs(fb) <= tol;
+    if (za) out.push_back(a);
+    if (zb && i + 2 == knots.size()) out.push_back(b);
+    if (!za && !zb && (fa < 0) != (fb < 0)) {
+      out.push_back(bisect(p, a, b));
+    }
+  }
+  dedup_sorted(out, kRootTol * (1 + std::fabs(lo) + std::fabs(hi)));
+  return out;
+}
+
+}  // namespace
+
+int robust_sign(const Polynomial& p, double t) {
+  double v = p(t);
+  double tol = kAbsTol * magnitude_scale(p) *
+               std::max(1.0, std::pow(std::fabs(t), std::max(0, p.degree())));
+  if (std::fabs(v) <= tol) return 0;
+  return v > 0 ? 1 : -1;
+}
+
+RootFindResult real_roots(const Polynomial& p, double lo, double hi) {
+  RootFindResult res;
+  if (p.is_zero()) {
+    res.identically_zero = true;
+    return res;
+  }
+  DYNCG_ASSERT(lo <= hi, "real_roots: empty interval");
+  res.roots = roots_rec(p, lo, hi, magnitude_scale(p));
+  return res;
+}
+
+RootFindResult real_roots_from(const Polynomial& p, double t0) {
+  RootFindResult res;
+  if (p.is_zero()) {
+    res.identically_zero = true;
+    return res;
+  }
+  double hi = std::max(t0 + 1.0, p.root_bound() + 1.0);
+  res.roots = roots_rec(p, t0, hi, magnitude_scale(p));
+  return res;
+}
+
+RootFindResult crossing_times(const Polynomial& f, const Polynomial& g,
+                              double t0) {
+  return real_roots_from(f - g, t0);
+}
+
+}  // namespace dyncg

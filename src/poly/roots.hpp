@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "poly/polynomial.hpp"
+
+// Real-root isolation for the bounded-degree polynomials of the k-motion
+// model.  The paper assumes (Section 6, property 4) that the at-most-k
+// solutions of f(t) = g(t) can be found in Theta(1) serial time; this module
+// is that primitive.  The method recurses on derivatives: the roots of p'
+// partition the line into intervals on which p is monotone, so each interval
+// holds at most one root, found by bisection and polished by Newton steps.
+// Tangential roots (even multiplicity) are detected at the critical points.
+namespace dyncg {
+
+struct RootFindResult {
+  // True when the polynomial is identically zero on the queried interval, in
+  // which case `roots` is meaningless (every point is a root).
+  bool identically_zero = false;
+  // Distinct real roots in ascending order.
+  std::vector<double> roots;
+};
+
+// All distinct real roots of p in the closed interval [lo, hi].
+RootFindResult real_roots(const Polynomial& p, double lo, double hi);
+
+// All distinct real roots of p in [t0, +infinity).  Uses the Cauchy bound to
+// cap the search interval.
+RootFindResult real_roots_from(const Polynomial& p, double t0);
+
+// Sign of p at t, treating |p(t)| below an absolute tolerance scaled by the
+// polynomial's magnitude as zero.
+int robust_sign(const Polynomial& p, double t);
+
+// The distinct t >= t0 at which f and g intersect (f - g = 0).  If the two
+// polynomials are identical, `identically_zero` is set.
+RootFindResult crossing_times(const Polynomial& f, const Polynomial& g,
+                              double t0 = 0.0);
+
+}  // namespace dyncg

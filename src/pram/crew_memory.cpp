@@ -1,0 +1,64 @@
+#include "pram/crew_memory.hpp"
+
+#include <algorithm>
+
+namespace dyncg {
+
+std::uint64_t crew_prefix_sum(CrewMemory<long>& mem, std::size_t n) {
+  std::uint64_t start = mem.steps();
+  for (std::size_t stride = 1; stride < n; stride *= 2) {
+    // One synchronous step: processor i (i >= stride) reads cell i - stride
+    // (concurrent reads of shared prefixes are fine) and writes its own
+    // cell — exclusive by construction.
+    std::vector<long> incoming(n, 0);
+    for (std::size_t i = stride; i < n; ++i) {
+      incoming[i] = mem.read(i - stride);
+    }
+    for (std::size_t i = stride; i < n; ++i) {
+      mem.write(i, mem.read(i) + incoming[i]);
+    }
+    mem.end_step();
+  }
+  return mem.steps() - start;
+}
+
+std::uint64_t crew_merge(CrewMemory<long>& mem, std::size_t n) {
+  std::uint64_t start = mem.steps();
+  // Processor i owns element i.  Each of ceil(log2(n+1)) steps narrows the
+  // binary-search window of every processor by one probe; the probe is a
+  // concurrent read of the other run.
+  std::vector<std::size_t> lo(2 * n, 0), hi(2 * n, n);
+  std::size_t probes = 0;
+  for (std::size_t w = n; w > 0; w /= 2) ++probes;
+  for (std::size_t p = 0; p < probes; ++p) {
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+      if (lo[i] >= hi[i]) continue;
+      std::size_t mid = (lo[i] + hi[i]) / 2;
+      bool in_left = i < n;
+      long own = mem.read(i);
+      long other = mem.read(in_left ? n + mid : mid);
+      // Tie-break toward the left run for stability.
+      bool go_right = in_left ? (other < own) : (other <= own);
+      if (go_right) {
+        lo[i] = mid + 1;
+      } else {
+        hi[i] = mid;
+      }
+    }
+    mem.end_step();
+  }
+  // One final step: everyone writes to its merged rank (exclusive by the
+  // stable rank computation).
+  std::vector<long> vals(2 * n);
+  std::vector<std::size_t> dest(2 * n);
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    vals[i] = mem.read(i);
+    std::size_t within = i < n ? i : i - n;
+    dest[i] = within + lo[i];
+  }
+  for (std::size_t i = 0; i < 2 * n; ++i) mem.write(dest[i], vals[i]);
+  mem.end_step();
+  return mem.steps() - start;
+}
+
+}  // namespace dyncg

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+// A CREW PRAM shared memory with discipline checking.
+//
+// The baseline of Section 6 is a concurrent-read, exclusive-write PRAM.
+// This class models its shared memory: computation proceeds in synchronous
+// steps; within one step any number of processors may read a cell, but at
+// most one may write it (violations abort — they would make the program
+// CRCW, changing the simulation cost the paper quotes).  Reads observe the
+// values from *before* the step's writes, as in the standard PRAM model.
+namespace dyncg {
+
+template <class T>
+class CrewMemory {
+ public:
+  explicit CrewMemory(std::size_t cells)
+      : data_(cells), pending_(cells), written_(cells, 0) {}
+
+  std::size_t size() const { return data_.size(); }
+  std::uint64_t steps() const { return steps_; }
+
+  // Read during the current step (concurrent reads allowed).
+  const T& read(std::size_t addr) const {
+    DYNCG_ASSERT(addr < data_.size(), "PRAM read out of bounds");
+    return data_[addr];
+  }
+
+  // Write during the current step; exclusive per cell per step.
+  void write(std::size_t addr, T value) {
+    DYNCG_ASSERT(addr < data_.size(), "PRAM write out of bounds");
+    DYNCG_ASSERT(!written_[addr],
+                 "CREW violation: two writes to one cell in one step");
+    written_[addr] = 1;
+    pending_[addr] = std::move(value);
+  }
+
+  // Synchronization barrier: commit the step's writes, advance the clock.
+  void end_step() {
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      if (written_[i]) {
+        data_[i] = std::move(pending_[i]);
+        written_[i] = 0;
+      }
+    }
+    ++steps_;
+  }
+
+  // Direct (untimed) initialization access.
+  T& slot(std::size_t addr) { return data_[addr]; }
+
+ private:
+  std::vector<T> data_;
+  std::vector<T> pending_;
+  std::vector<char> written_;
+  std::uint64_t steps_ = 0;
+};
+
+// Reference CREW programs used by the Section 6 baseline and its tests.
+
+// Inclusive prefix sum of the first n cells with n processors,
+// Theta(log n) steps (the classic pointer-doubling scan).
+std::uint64_t crew_prefix_sum(CrewMemory<long>& mem, std::size_t n);
+
+// Merge two sorted runs mem[0..n) and mem[n..2n) into mem[0..2n) with 2n
+// processors in Theta(log n) steps: every element binary-searches its rank
+// in the other run (each probe is one concurrent-read step).
+std::uint64_t crew_merge(CrewMemory<long>& mem, std::size_t n);
+
+}  // namespace dyncg

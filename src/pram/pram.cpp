@@ -1,0 +1,38 @@
+#include "pram/pram.hpp"
+
+#include "ops/crcw.hpp"
+
+namespace dyncg {
+
+std::uint64_t crcw_step_rounds(Machine& host) {
+  const std::size_t P = host.size();
+  // Full-load access pattern: every PE owns a cell and reads some cell.
+  std::vector<std::optional<std::pair<long, long>>> data(P);
+  std::vector<std::optional<long>> queries(P);
+  for (std::size_t r = 0; r < P; ++r) {
+    data[r] = std::pair<long, long>{static_cast<long>(r), 0L};
+    queries[r] = static_cast<long>((r * 7 + 3) % P);
+  }
+  CostMeter read_meter(host.ledger());
+  ops::concurrent_read<long, long>(host, data, queries);
+  std::uint64_t read_rounds = read_meter.elapsed().rounds;
+
+  std::vector<std::optional<std::pair<long, long>>> writes(P);
+  std::vector<std::optional<long>> owners(P);
+  for (std::size_t r = 0; r < P; ++r) {
+    writes[r] = std::pair<long, long>{static_cast<long>((r * 5 + 1) % P), 1L};
+    owners[r] = static_cast<long>(r);
+  }
+  CostMeter write_meter(host.ledger());
+  ops::concurrent_write<long, long>(host, writes, owners,
+                                    [](long a, long b) { return a + b; });
+  return read_rounds + write_meter.elapsed().rounds;
+}
+
+DirectSimulationCost direct_simulation_cost(Machine& host,
+                                            std::uint64_t pram_steps) {
+  std::uint64_t per = crcw_step_rounds(host);
+  return DirectSimulationCost{pram_steps, per, pram_steps * per};
+}
+
+}  // namespace dyncg

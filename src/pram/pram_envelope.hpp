@@ -1,0 +1,43 @@
+#pragma once
+
+#include "pieces/piecewise.hpp"
+#include "pram/pram.hpp"
+
+// Envelope construction on the CREW PRAM, and the serial baseline.
+//
+// [Chandran and Mount 1989] describe h(t) in O(log n) CREW PRAM time; that
+// algorithm relies on intricate pipelined merging, so we substitute the
+// straightforward parallel divide and conquer: log n levels, each level
+// combining sibling envelopes with one parallel endpoint merge (binary
+// search per element, O(log n) steps) plus O(1) local work — O(log^2 n)
+// PRAM steps measured.  For the Section 6 comparison we report both the
+// measured step count of this implementation and the idealized
+// Chandran-Mount charge c * log n; the native mesh/hypercube algorithms
+// beat the direct simulation of either (see DESIGN.md's substitution
+// table).
+namespace dyncg {
+
+struct PramEnvelopeResult {
+  PiecewiseFn envelope;
+  std::uint64_t steps;  // measured PRAM steps of our implementation
+};
+
+// Parallel D&C envelope on a CREW PRAM with Theta(lambda(n,s)) processors.
+PramEnvelopeResult pram_envelope(const PolyFamily& fam, bool take_min = true);
+
+// Idealized [Chandran and Mount 1989] step count: kChandranMountConstant *
+// ceil(log2 n).
+inline constexpr std::uint64_t kChandranMountConstant = 10;
+std::uint64_t chandran_mount_steps(std::size_t n);
+
+// Serial [Atallah 1985]-style divide-and-conquer baseline: the envelope
+// plus the number of elementary piece operations performed (the serial
+// "time").
+struct SerialEnvelopeResult {
+  PiecewiseFn envelope;
+  std::uint64_t piece_ops;
+};
+SerialEnvelopeResult serial_envelope_baseline(const PolyFamily& fam,
+                                              bool take_min = true);
+
+}  // namespace dyncg

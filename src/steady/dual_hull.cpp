@@ -1,0 +1,18 @@
+#include "steady/dual_hull.hpp"
+
+namespace dyncg {
+
+void geom_detail_charge_pack(Machine& m) {
+  for (int k = 0; k < floor_log2(m.size()); ++k) {
+    m.charge_exchange(static_cast<unsigned>(k));
+  }
+  m.charge_local(2);
+}
+
+// Anchor instantiations for the two fields the library ships.
+template std::vector<Point2<double>> machine_hull_dual<double>(
+    Machine&, std::vector<Point2<double>>);
+template std::vector<Point2<RationalGerm>> machine_hull_dual<RationalGerm>(
+    Machine&, std::vector<Point2<RationalGerm>>);
+
+}  // namespace dyncg

@@ -1,0 +1,29 @@
+#include "steady/static_geometry.hpp"
+
+// Explicit instantiations for the two coordinate types the library ships:
+// double (static problems, Table 4) and AsymptoticPoly (steady-state
+// problems via Lemma 5.1, Table 3).
+namespace dyncg {
+
+template std::vector<Point2<double>> convex_hull<double>(
+    std::vector<Point2<double>>);
+template std::vector<Point2<AsymptoticPoly>> convex_hull<AsymptoticPoly>(
+    std::vector<Point2<AsymptoticPoly>>);
+
+template ClosestPairResult<double> closest_pair<double>(
+    std::vector<Point2<double>>);
+template ClosestPairResult<AsymptoticPoly> closest_pair<AsymptoticPoly>(
+    std::vector<Point2<AsymptoticPoly>>);
+
+template ClosestPairResult<double> farthest_pair<double>(
+    const std::vector<Point2<double>>&);
+template ClosestPairResult<AsymptoticPoly> farthest_pair<AsymptoticPoly>(
+    const std::vector<Point2<AsymptoticPoly>>&);
+
+template EnclosingRectangle<double> min_enclosing_rectangle<double>(
+    const std::vector<Point2<double>>&);
+template EnclosingRectangle<AsymptoticPoly>
+min_enclosing_rectangle<AsymptoticPoly>(
+    const std::vector<Point2<AsymptoticPoly>>&);
+
+}  // namespace dyncg

@@ -1,0 +1,279 @@
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "poly/asymptotic.hpp"
+#include "support/assert.hpp"
+
+// Static planar geometry, generic over the coordinate type.
+//
+// Section 5's strategy is the Reduction Lemma (Lemma 5.1): steady-state
+// problems reduce to static ones because every predicate a static geometric
+// algorithm evaluates — orientations, projection and distance comparisons —
+// is built from coordinates with +, -, * and a final sign test, and for
+// polynomial coordinates that sign test at t -> infinity takes Theta(1)
+// time.  We make the reduction literal: the algorithms below are templated
+// on the coordinate type CT.  CT = double runs them on static points
+// (Table 4); CT = AsymptoticPoly runs the *same code* on moving points and
+// returns steady-state answers (Table 3).
+//
+// CT requirements: +, -, *, unary -, comparisons, and sign_of(CT).
+namespace dyncg {
+
+template <class CT>
+struct Point2 {
+  CT x;
+  CT y;
+  std::size_t id = 0;  // caller's index, carried through permutations
+};
+
+// Twice the signed area of the triangle (o, a, b): positive iff the turn
+// o -> a -> b is counterclockwise.
+template <class CT>
+CT cross3(const Point2<CT>& o, const Point2<CT>& a, const Point2<CT>& b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+template <class CT>
+int orientation(const Point2<CT>& o, const Point2<CT>& a,
+                const Point2<CT>& b) {
+  return sign_of(cross3(o, a, b));
+}
+
+template <class CT>
+CT dist2(const Point2<CT>& a, const Point2<CT>& b) {
+  return (a.x - b.x) * (a.x - b.x) + (a.y - b.y) * (a.y - b.y);
+}
+
+template <class CT>
+bool lex_less(const Point2<CT>& a, const Point2<CT>& b) {
+  if (a.x < b.x) return true;
+  if (b.x < a.x) return false;
+  return a.y < b.y;
+}
+
+// Convex hull by Andrew's monotone chain; returns hull vertices in
+// counterclockwise order (strictly convex: collinear middle points
+// dropped).  O(n log n) comparisons, the serial baseline of Table 4.
+template <class CT>
+std::vector<Point2<CT>> convex_hull(std::vector<Point2<CT>> pts) {
+  std::sort(pts.begin(), pts.end(), lex_less<CT>);
+  pts.erase(std::unique(pts.begin(), pts.end(),
+                        [](const Point2<CT>& a, const Point2<CT>& b) {
+                          return !lex_less(a, b) && !lex_less(b, a);
+                        }),
+            pts.end());
+  std::size_t n = pts.size();
+  if (n <= 2) return pts;
+  std::vector<Point2<CT>> h(2 * n);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {  // lower chain
+    while (k >= 2 && orientation(h[k - 2], h[k - 1], pts[i]) <= 0) --k;
+    h[k++] = pts[i];
+  }
+  for (std::size_t i = n - 1, lo = k + 1; i-- > 0;) {  // upper chain
+    while (k >= lo && orientation(h[k - 2], h[k - 1], pts[i]) <= 0) --k;
+    h[k++] = pts[i];
+  }
+  h.resize(k - 1);
+  return h;
+}
+
+// Closest pair by divide and conquer with the classic strip argument;
+// O(n log n) comparisons.  Returns the ids and the squared distance.
+template <class CT>
+struct ClosestPairResult {
+  std::size_t a;
+  std::size_t b;
+  CT d2;
+};
+
+namespace static_detail {
+
+template <class CT>
+ClosestPairResult<CT> closest_rec(std::vector<Point2<CT>>& by_x,
+                                  std::vector<Point2<CT>>& by_y) {
+  std::size_t n = by_x.size();
+  if (n <= 3) {
+    ClosestPairResult<CT> best{by_x[0].id, by_x[1].id, dist2(by_x[0], by_x[1])};
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        CT d = dist2(by_x[i], by_x[j]);
+        if (d < best.d2) best = {by_x[i].id, by_x[j].id, d};
+      }
+    }
+    return best;
+  }
+  std::size_t half = n / 2;
+  Point2<CT> mid = by_x[half];
+  std::vector<Point2<CT>> lx(by_x.begin(), by_x.begin() + static_cast<long>(half));
+  std::vector<Point2<CT>> rx(by_x.begin() + static_cast<long>(half), by_x.end());
+  // Stable y-split by membership.
+  std::vector<char> in_left_of(0);
+  std::vector<Point2<CT>> ly, ry;
+  {
+    std::vector<std::size_t> left_ids;
+    for (const auto& p : lx) left_ids.push_back(p.id);
+    std::sort(left_ids.begin(), left_ids.end());
+    for (const auto& p : by_y) {
+      if (std::binary_search(left_ids.begin(), left_ids.end(), p.id)) {
+        ly.push_back(p);
+      } else {
+        ry.push_back(p);
+      }
+    }
+  }
+  ClosestPairResult<CT> bl = closest_rec(lx, ly);
+  ClosestPairResult<CT> br = closest_rec(rx, ry);
+  ClosestPairResult<CT> best = bl.d2 < br.d2 ? bl : br;
+  // Strip: points with (x - mid.x)^2 < best.d2, in y order.
+  std::vector<Point2<CT>> strip;
+  for (const auto& p : by_y) {
+    CT dx = p.x - mid.x;
+    if (dx * dx < best.d2) strip.push_back(p);
+  }
+  for (std::size_t i = 0; i < strip.size(); ++i) {
+    for (std::size_t j = i + 1; j < strip.size(); ++j) {
+      CT dy = strip[j].y - strip[i].y;
+      if (!(dy * dy < best.d2)) break;  // at most O(1) iterations
+      CT d = dist2(strip[i], strip[j]);
+      if (d < best.d2) best = {strip[i].id, strip[j].id, d};
+    }
+  }
+  return best;
+}
+
+}  // namespace static_detail
+
+template <class CT>
+ClosestPairResult<CT> closest_pair(std::vector<Point2<CT>> pts) {
+  DYNCG_ASSERT(pts.size() >= 2, "closest pair needs two points");
+  std::vector<Point2<CT>> by_x = pts;
+  std::sort(by_x.begin(), by_x.end(), lex_less<CT>);
+  std::vector<Point2<CT>> by_y = pts;
+  std::sort(by_y.begin(), by_y.end(),
+            [](const Point2<CT>& a, const Point2<CT>& b) {
+              if (a.y < b.y) return true;
+              if (b.y < a.y) return false;
+              return a.x < b.x;
+            });
+  return static_detail::closest_rec(by_x, by_y);
+}
+
+// Antipodal vertex pairs of a convex polygon (vertices in ccw order) by the
+// rotating-calipers scheme of [Shamos 1975] that Lemma 5.5 parallelizes.
+// Every antipodal pair appears at least once; O(h) pairs total.
+template <class CT>
+std::vector<std::pair<std::size_t, std::size_t>> antipodal_pairs(
+    const std::vector<Point2<CT>>& hull) {
+  std::size_t h = hull.size();
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  if (h < 2) return out;
+  if (h == 2) {
+    out.emplace_back(0, 1);
+    return out;
+  }
+  auto area2 = [&hull](std::size_t i, std::size_t j, std::size_t k) {
+    return cross3(hull[i], hull[j], hull[k]);
+  };
+  std::size_t k = 1;
+  while (area2(h - 1, 0, (k + 1) % h) > area2(h - 1, 0, k)) k = (k + 1) % h;
+  std::size_t i = 0, j = k;
+  // Walk edge i while advancing the farthest vertex j.
+  while (i <= k && j < h) {
+    out.emplace_back(i, j);
+    while (j + 1 < h && area2(i, (i + 1) % h, j + 1) > area2(i, (i + 1) % h, j)) {
+      ++j;
+      out.emplace_back(i, j);
+    }
+    ++i;
+  }
+  return out;
+}
+
+// Diameter (farthest pair): maximum squared distance over antipodal pairs
+// of the hull.
+template <class CT>
+ClosestPairResult<CT> farthest_pair(const std::vector<Point2<CT>>& pts) {
+  DYNCG_ASSERT(pts.size() >= 2, "farthest pair needs two points");
+  std::vector<Point2<CT>> hull = convex_hull(pts);
+  if (hull.size() == 1) {
+    // All points coincide.
+    return ClosestPairResult<CT>{pts[0].id, pts[1].id, dist2(pts[0], pts[1])};
+  }
+  auto pairs = antipodal_pairs(hull);
+  ClosestPairResult<CT> best{hull[pairs[0].first].id, hull[pairs[0].second].id,
+                             dist2(hull[pairs[0].first], hull[pairs[0].second])};
+  for (const auto& [a, b] : pairs) {
+    CT d = dist2(hull[a], hull[b]);
+    if (best.d2 < d) best = {hull[a].id, hull[b].id, d};
+  }
+  return best;
+}
+
+// Smallest enclosing rectangle (Theorem 5.8's object): a minimum-area
+// rectangle has one side collinear with a hull edge, so each edge e yields a
+// candidate R_e and the minimum over edges wins.  Serial O(h^2) reference;
+// the machine version uses the Lemma 5.5 grouping instead of the inner
+// loop.
+//
+// For edge e = (i, j) with direction u, the projection spread along u is
+// W |u| and the max normal offset (a cross product) is H |u|, so
+// area(R_e) = W * H = area_num / len2 with area_num = spread * offset and
+// len2 = |u|^2 — all ring operations.  Candidates compare by
+// cross-multiplying the positive denominators.
+template <class CT>
+struct EnclosingRectangle {
+  std::size_t edge_from = 0;  // hull vertex indices of the flush edge
+  std::size_t edge_to = 0;
+  CT area_num{};  // area * len2
+  CT len2{};      // squared edge length
+};
+
+template <class CT>
+EnclosingRectangle<CT> min_enclosing_rectangle(
+    const std::vector<Point2<CT>>& hull) {
+  std::size_t h = hull.size();
+  DYNCG_ASSERT(h >= 3, "rectangle of a degenerate polygon");
+  bool have = false;
+  EnclosingRectangle<CT> best;
+  for (std::size_t i = 0; i < h; ++i) {
+    std::size_t j = (i + 1) % h;
+    CT ux = hull[j].x - hull[i].x;
+    CT uy = hull[j].y - hull[i].y;
+    CT len2 = ux * ux + uy * uy;
+    CT minu = CT{}, maxu = CT{}, maxn = CT{};
+    bool first = true;
+    for (const auto& p : hull) {
+      CT pu = (p.x - hull[i].x) * ux + (p.y - hull[i].y) * uy;
+      CT pn = cross3(hull[i], hull[j], p);  // >= 0 for ccw hulls
+      if (first) {
+        minu = pu;
+        maxu = pu;
+        maxn = pn;
+        first = false;
+      } else {
+        if (pu < minu) minu = pu;
+        if (maxu < pu) maxu = pu;
+        if (maxn < pn) maxn = pn;
+      }
+    }
+    EnclosingRectangle<CT> cand{i, j, (maxu - minu) * maxn, len2};
+    // cand.area_num / cand.len2 < best.area_num / best.len2, positive
+    // denominators.
+    if (!have || cand.area_num * best.len2 < best.area_num * cand.len2) {
+      best = cand;
+      have = true;
+    }
+  }
+  return best;
+}
+
+// Numeric area of a rectangle candidate over double coordinates.
+inline double rectangle_area(const EnclosingRectangle<double>& r) {
+  return r.len2 > 0 ? r.area_num / r.len2 : 0.0;
+}
+
+}  // namespace dyncg

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <vector>
+
+#include "dyncg/motion.hpp"
+#include "pieces/piecewise.hpp"
+#include "poly/asymptotic.hpp"
+#include "poly/rational_germ.hpp"
+#include "steady/static_geometry.hpp"
+
+// Steady-state computations (Section 5): properties of the system as
+// t -> infinity, computed by the Reduction Lemma (Lemma 5.1) — run the
+// static algorithm with coordinates replaced by their germs at infinity.
+// These are the serial reference implementations; machine_geometry.hpp has
+// the mesh/hypercube versions of Table 3.
+namespace dyncg {
+
+// Planar germ coordinates of the system's points (id = point index).
+std::vector<Point2<AsymptoticPoly>> germ_points(const MotionSystem& system);
+
+// The same coordinates as members of the rational-germ *field*, for the
+// machine algorithms that need division (the dual-envelope hull).
+std::vector<Point2<RationalGerm>> germ_field_points(const MotionSystem& system);
+
+// Steady-state nearest (or farthest) neighbor of `query` (Proposition 5.2's
+// problem): the point whose squared-distance polynomial to the query is
+// eventually minimal (maximal).
+std::size_t steady_neighbor(const MotionSystem& system, std::size_t query,
+                            bool farthest = false);
+
+// Steady-state closest pair (Proposition 5.3) and farthest pair
+// (Corollary 5.7).  d2 is the germ of the squared distance.
+ClosestPairResult<AsymptoticPoly> steady_closest_pair(
+    const MotionSystem& system);
+ClosestPairResult<AsymptoticPoly> steady_farthest_pair(
+    const MotionSystem& system);
+
+// Steady-state hull (Proposition 5.4): ids of the extreme points of
+// hull(S) as t -> infinity, in counterclockwise order.
+std::vector<std::size_t> steady_hull_ids(const MotionSystem& system);
+
+// Steady-state hull membership of a single query point (the Prop 5.4
+// remark): true iff the query is an extreme point of hull(S) as
+// t -> infinity.
+bool steady_is_hull_vertex(const MotionSystem& system, std::size_t query);
+
+// The steady-state diameter function (Proposition 5.6): the squared
+// distance polynomial of a steady-state farthest pair.
+Polynomial steady_diameter_squared(const MotionSystem& system);
+
+// The full diameter *function* of the eventual convex polygon
+// (Proposition 5.6's object): the upper envelope of the squared distances
+// of the steady-state antipodal pairs, together with the time from which
+// it is valid (once the hull and antipodal structure have stabilized, the
+// diameter at time t is max over those pairs).
+struct DiameterFunction {
+  PiecewisePoly squared;  // diameter^2 over [0, inf); trust beyond valid_from
+  double valid_from;      // stabilization horizon (last structural root)
+};
+DiameterFunction steady_diameter_function(const MotionSystem& system);
+
+// Steady-state minimum-area enclosing rectangle (Theorem 5.8 /
+// Corollary 5.9): the flush hull edge (by point ids) plus the germ of
+// area * |edge|^2 and of |edge|^2.
+struct SteadyRectangle {
+  std::size_t edge_from;
+  std::size_t edge_to;
+  RationalGerm area;  // the rectangle's area as a germ at t -> infinity
+};
+SteadyRectangle steady_min_rectangle(const MotionSystem& system);
+
+// Oracle for all of the above: evaluate positions at a (large) time t and
+// run the double-coordinate algorithm.
+std::vector<Point2<double>> snapshot_points(const MotionSystem& system,
+                                            double t);
+
+}  // namespace dyncg

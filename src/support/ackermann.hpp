@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+// Davenport-Schinzel machinery from Section 2.5 of the paper: the inverse
+// Ackermann function alpha(n) and the lambda(n,s) bounds of Theorem 2.3,
+// plus the machine-size roundings lambda_M / lambda_H used by Theorem 3.2.
+namespace dyncg {
+
+// Inverse Ackermann function alpha(n) as used by [Hart and Sharir 1986].
+// Monotone nondecreasing; alpha(n) <= 4 for every n that fits in 64 bits.
+int inverse_ackermann(std::uint64_t n);
+
+// Upper bound on lambda(n, s), the maximum length of an (n, s)
+// Davenport-Schinzel sequence (Definition 2.1 / Theorem 2.3):
+//   lambda(n, 1) = n, lambda(n, 2) = 2n - 1,
+//   lambda(n, s) = Theta(n alpha(n)^{O(1)}) for s >= 3; for the bounded s
+//   used throughout the paper we return the concrete bound
+//   n * (alpha(n) + 2)^{ceil((s-1)/2)} which dominates the known bounds and
+//   is "essentially Theta(n) for reasonable n" (Theorem 2.3 discussion).
+std::uint64_t lambda_upper_bound(std::uint64_t n, int s);
+
+// lambda_M(n, s): the bound rounded up to a power of 4 (mesh sizes must be
+// powers of 4 so the lattice is square); Section 3.
+std::uint64_t lambda_mesh(std::uint64_t n, int s);
+
+// lambda_H(n, s): the bound rounded up to a power of 2 (hypercube sizes).
+std::uint64_t lambda_hypercube(std::uint64_t n, int s);
+
+// Smallest power of two >= n.
+std::uint64_t ceil_pow2(std::uint64_t n);
+
+// Smallest power of four >= n.
+std::uint64_t ceil_pow4(std::uint64_t n);
+
+// floor(log2(n)) for n >= 1.
+int floor_log2(std::uint64_t n);
+
+}  // namespace dyncg

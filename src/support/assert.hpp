@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checking that stays on in release builds.  The simulator and the
+// geometric kernels are validated against paper-derived bounds (piece counts,
+// link capacities, O(1)-per-PE storage); violating one of those bounds means
+// the reproduction is wrong, so we abort loudly rather than continue.
+#define DYNCG_ASSERT(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "DYNCG_ASSERT failed at %s:%d: %s\n  %s\n",       \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,120 @@
+#include "support/ds_sequence.hpp"
+
+#include "support/assert.hpp"
+
+namespace dyncg {
+
+int longest_alternation(const std::vector<int>& seq, int a, int b) {
+  int len = 0;
+  int want = a;  // next symbol that extends the alternation
+  for (int x : seq) {
+    if (x == want) {
+      ++len;
+      want = (want == a) ? b : a;
+    }
+  }
+  // The alternation could also start with b; try both phases.
+  int len_b = 0;
+  int want_b = b;
+  for (int x : seq) {
+    if (x == want_b) {
+      ++len_b;
+      want_b = (want_b == b) ? a : b;
+    }
+  }
+  return len > len_b ? len : len_b;
+}
+
+bool is_davenport_schinzel(const std::vector<int>& seq, int n, int s) {
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (seq[i] < 0 || seq[i] >= n) return false;
+    if (i > 0 && seq[i] == seq[i - 1]) return false;
+  }
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (longest_alternation(seq, a, b) >= s + 2) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Depth-first search for the longest (n, s) DS sequence.  State tracked
+// incrementally: alt[a][b] = length of the longest alternation between a and
+// b so far together with which of the two would extend it next.
+struct Search {
+  int n;
+  int s;
+  std::vector<int> best;
+  std::vector<int> cur;
+  // alt_len[a*n+b] for a<b: longest alternation length; alt_next: symbol that
+  // extends it (or -1 when both phases tie at length 0).
+  std::vector<int> alt_len;
+  std::vector<int> alt_next;
+
+  // Greedy upper bound to prune: remaining growth is bounded by the total
+  // remaining alternation capacity.
+  bool feasible_to_beat() const {
+    long cap = 0;
+    for (int a = 0; a < n; ++a)
+      for (int b = a + 1; b < n; ++b)
+        cap += (s + 1) - alt_len[a * n + b];
+    return static_cast<long>(cur.size()) + cap >
+           static_cast<long>(best.size());
+  }
+
+  void run(int last) {
+    if (cur.size() > best.size()) best = cur;
+    if (!feasible_to_beat()) return;
+    for (int x = 0; x < n; ++x) {
+      if (x == last) continue;
+      // Check whether appending x keeps every pair under s + 2, updating
+      // state; collect undo info.
+      std::vector<std::pair<int, std::pair<int, int>>> undo;
+      bool ok = true;
+      for (int y = 0; y < n && ok; ++y) {
+        if (y == x) continue;
+        int a = x < y ? x : y, b = x < y ? y : x;
+        int idx = a * n + b;
+        int len = alt_len[idx], nxt = alt_next[idx];
+        if (len == 0 || nxt == x) {
+          undo.push_back({idx, {len, nxt}});
+          alt_len[idx] = len + 1;
+          alt_next[idx] = (x == a) ? b : a;
+          if (alt_len[idx] >= s + 2) ok = false;
+        }
+      }
+      if (ok) {
+        cur.push_back(x);
+        run(x);
+        cur.pop_back();
+      }
+      for (auto& u : undo) {
+        alt_len[u.first] = u.second.first;
+        alt_next[u.first] = u.second.second;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<int> lambda_witness(int n, int s) {
+  DYNCG_ASSERT(n >= 1 && s >= 1, "lambda_witness needs n,s >= 1");
+  DYNCG_ASSERT(n <= 8, "exhaustive lambda search limited to n <= 8");
+  if (n == 1) return {0};  // a single symbol, no repetition allowed
+  Search srch;
+  srch.n = n;
+  srch.s = s;
+  srch.alt_len.assign(static_cast<std::size_t>(n) * n, 0);
+  srch.alt_next.assign(static_cast<std::size_t>(n) * n, -1);
+  srch.run(-1);
+  return srch.best;
+}
+
+int lambda_exact(int n, int s) {
+  return static_cast<int>(lambda_witness(n, s).size());
+}
+
+}  // namespace dyncg

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+// Davenport-Schinzel sequences (Definition 2.1).  An (n, s) DS sequence over
+// the alphabet {0, ..., n-1} has no immediate repetition and no alternating
+// subsequence a..b..a..b.. of length s + 2.  Lemma 2.2: the origin labels of
+// the pieces of the lower envelope of n functions, no two of which cross more
+// than s times, form an (n, s) DS sequence; lambda(n, s) is the maximum
+// length of such a sequence.
+namespace dyncg {
+
+// True iff `seq` is a valid (n, s) Davenport-Schinzel sequence: every symbol
+// is in [0, n), no two adjacent symbols are equal, and no two distinct
+// symbols alternate s + 2 times as a (not necessarily contiguous)
+// subsequence.
+bool is_davenport_schinzel(const std::vector<int>& seq, int n, int s);
+
+// Length of the longest alternation a..b..a..b.. between the two fixed
+// symbols `a` and `b` occurring as a subsequence of `seq`.
+int longest_alternation(const std::vector<int>& seq, int a, int b);
+
+// Exact lambda(n, s) by exhaustive search.  Exponential; intended for the
+// small (n, s) used in tests (n <= 6, s <= 3), where it verifies
+// lambda(n,1) = n and lambda(n,2) = 2n - 1 and gives ground truth for s = 3.
+int lambda_exact(int n, int s);
+
+// A witness sequence realizing lambda_exact(n, s).
+std::vector<int> lambda_witness(int n, int s);
+
+}  // namespace dyncg

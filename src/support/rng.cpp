@@ -1,0 +1,15 @@
+#include "support/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dyncg {
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  std::shuffle(p.begin(), p.end(), engine_);
+  return p;
+}
+
+}  // namespace dyncg

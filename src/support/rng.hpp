@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+// Deterministic pseudo-random workload generation.  Every experiment in the
+// bench harness is seeded so that runs are reproducible.
+namespace dyncg {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  int uniform_int(int lo, int hi) {  // inclusive range
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  std::uint64_t next_u64() { return engine_(); }
+
+  // Random permutation of {0, ..., n-1}.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dyncg

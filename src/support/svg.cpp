@@ -1,0 +1,88 @@
+#include "support/svg.hpp"
+
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace dyncg {
+
+SvgCanvas::SvgCanvas(double world_x0, double world_y0, double world_x1,
+                     double world_y1, int width_px, int height_px)
+    : x0_(world_x0), y0_(world_y0), x1_(world_x1), y1_(world_y1),
+      w_(width_px), h_(height_px) {
+  DYNCG_ASSERT(x1_ > x0_ && y1_ > y0_, "empty SVG world window");
+}
+
+double SvgCanvas::sx(double x) const {
+  return (x - x0_) / (x1_ - x0_) * w_;
+}
+
+double SvgCanvas::sy(double y) const {
+  return h_ - (y - y0_) / (y1_ - y0_) * h_;
+}
+
+void SvgCanvas::line(double ax, double ay, double bx, double by,
+                     const std::string& color, double width, bool dashed) {
+  std::ostringstream os;
+  os << "<line x1='" << sx(ax) << "' y1='" << sy(ay) << "' x2='" << sx(bx)
+     << "' y2='" << sy(by) << "' stroke='" << color << "' stroke-width='"
+     << width << "'";
+  if (dashed) os << " stroke-dasharray='6,4'";
+  os << "/>";
+  body_.push_back(os.str());
+}
+
+void SvgCanvas::polyline(const std::vector<std::pair<double, double>>& pts,
+                         const std::string& color, double width) {
+  std::ostringstream os;
+  os << "<polyline fill='none' stroke='" << color << "' stroke-width='"
+     << width << "' points='";
+  for (const auto& [x, y] : pts) os << sx(x) << "," << sy(y) << " ";
+  os << "'/>";
+  body_.push_back(os.str());
+}
+
+void SvgCanvas::circle(double x, double y, double radius_px,
+                       const std::string& color, bool filled) {
+  std::ostringstream os;
+  os << "<circle cx='" << sx(x) << "' cy='" << sy(y) << "' r='" << radius_px
+     << "' ";
+  if (filled) {
+    os << "fill='" << color << "'";
+  } else {
+    os << "fill='none' stroke='" << color << "' stroke-width='1.5'";
+  }
+  os << "/>";
+  body_.push_back(os.str());
+}
+
+void SvgCanvas::text(double x, double y, const std::string& s, int size_px,
+                     const std::string& color) {
+  std::ostringstream os;
+  os << "<text x='" << sx(x) << "' y='" << sy(y) << "' font-size='" << size_px
+     << "' fill='" << color << "' font-family='sans-serif'>" << s << "</text>";
+  body_.push_back(os.str());
+}
+
+void SvgCanvas::polygon(const std::vector<std::pair<double, double>>& pts,
+                        const std::string& stroke, const std::string& fill) {
+  std::ostringstream os;
+  os << "<polygon stroke='" << stroke << "' fill='" << fill
+     << "' fill-opacity='0.15' stroke-width='2' points='";
+  for (const auto& [x, y] : pts) os << sx(x) << "," << sy(y) << " ";
+  os << "'/>";
+  body_.push_back(os.str());
+}
+
+bool SvgCanvas::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "<svg xmlns='http://www.w3.org/2000/svg' width='" << w_
+      << "' height='" << h_ << "' viewBox='0 0 " << w_ << " " << h_
+      << "'>\n<rect width='100%' height='100%' fill='white'/>\n";
+  for (const std::string& s : body_) out << s << "\n";
+  out << "</svg>\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace dyncg

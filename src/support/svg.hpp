@@ -1,0 +1,41 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+// A minimal SVG writer, used by the figure-rendering example to regenerate
+// the paper's illustrations (Figures 1-6) as image files.  World
+// coordinates are mapped into the viewport with y up.
+namespace dyncg {
+
+class SvgCanvas {
+ public:
+  SvgCanvas(double world_x0, double world_y0, double world_x1, double world_y1,
+            int width_px = 640, int height_px = 480);
+
+  void line(double x0, double y0, double x1, double y1,
+            const std::string& color = "#333", double width = 1.5,
+            bool dashed = false);
+  void polyline(const std::vector<std::pair<double, double>>& pts,
+                const std::string& color, double width = 2.0);
+  void circle(double x, double y, double radius_px,
+              const std::string& color = "#000", bool filled = true);
+  void text(double x, double y, const std::string& s, int size_px = 14,
+            const std::string& color = "#000");
+  void polygon(const std::vector<std::pair<double, double>>& pts,
+               const std::string& stroke, const std::string& fill);
+
+  // Writes the document; returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+ private:
+  double sx(double x) const;
+  double sy(double y) const;
+
+  double x0_, y0_, x1_, y1_;
+  int w_, h_;
+  std::vector<std::string> body_;
+};
+
+}  // namespace dyncg

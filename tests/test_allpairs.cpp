@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dyncg/allpairs.hpp"
+#include "dyncg/proximity.hpp"
+#include "steady/steady_state.hpp"
+#include "support/rng.hpp"
+
+namespace dyncg {
+namespace {
+
+std::vector<double> sample_times() {
+  std::vector<double> ts;
+  for (double t = 0.023; t < 50.0; t = t * 1.41 + 0.017) ts.push_back(t);
+  return ts;
+}
+
+class PairSequenceProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(PairSequenceProperty, MatchesBruteForceAtSamples) {
+  auto [which, n, farthest] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 19 + farthest * 3 + which));
+  MotionSystem sys = random_motion_system(rng, static_cast<std::size_t>(n), 2, 2);
+  Machine m = which == 0 ? allpairs_machine_mesh(sys)
+                         : allpairs_machine_hypercube(sys);
+  PairSequence seq = closest_pair_sequence(m, sys, farthest);
+  ASSERT_FALSE(seq.epochs.empty());
+  EXPECT_DOUBLE_EQ(seq.epochs.front().iv.lo, 0.0);
+  EXPECT_TRUE(std::isinf(seq.epochs.back().iv.hi));
+  for (double t : sample_times()) {
+    auto [ga, gb] = seq.pair_at(t);
+    auto [wa, wb] = brute_force_pair(sys, t, farthest);
+    double dg = sys.point(ga).distance_squared(sys.point(gb))(t);
+    double dw = sys.point(wa).distance_squared(sys.point(wb))(t);
+    EXPECT_NEAR(dg, dw, 1e-6 * (1 + dw)) << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PairSequenceProperty,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Values(3, 5, 8),
+                                            ::testing::Bool()));
+
+TEST(PairSequence, SteadyStateIsLastEpoch) {
+  // Section 5's opening remark: the steady-state answer is the last member
+  // of the transient sequence.  Cross-module consistency check.
+  Rng rng(5);
+  for (int trial = 0; trial < 6; ++trial) {
+    MotionSystem sys = random_motion_system(rng, 7, 2, 1);
+    Machine m = allpairs_machine_hypercube(sys);
+    PairSequence seq = closest_pair_sequence(m, sys);
+    auto last = seq.epochs.back();
+    auto steady = steady_closest_pair(sys);
+    Polynomial d_last =
+        sys.point(last.a).distance_squared(sys.point(last.b));
+    Polynomial d_steady =
+        sys.point(steady.a).distance_squared(sys.point(steady.b));
+    EXPECT_EQ(compare_at_infinity(d_last, d_steady), 0) << "trial " << trial;
+  }
+}
+
+TEST(NeighborSequence, SteadyNeighborIsLastEpoch) {
+  Rng rng(6);
+  for (int trial = 0; trial < 6; ++trial) {
+    MotionSystem sys = random_motion_system(rng, 8, 2, 2);
+    Machine m = proximity_machine_hypercube(sys);
+    NeighborSequence seq = neighbor_sequence(m, sys, 0);
+    std::size_t last = seq.epochs.back().neighbor;
+    std::size_t steady = steady_neighbor(sys, 0);
+    Polynomial dl = sys.point(0).distance_squared(sys.point(last));
+    Polynomial ds = sys.point(0).distance_squared(sys.point(steady));
+    EXPECT_EQ(compare_at_infinity(dl, ds), 0) << "trial " << trial;
+  }
+}
+
+TEST(AllCollisions, PlantedPairsAllFound) {
+  // P0 fixed at origin, P1 fixed at (10, 0); P2 sweeps through both.
+  std::vector<Trajectory> pts;
+  pts.push_back(Trajectory::fixed({0.0, 0.0}));
+  pts.push_back(Trajectory::fixed({10.0, 0.0}));
+  pts.push_back(Trajectory({Polynomial({-5.0, 5.0}), Polynomial()}));
+  MotionSystem sys(2, std::move(pts));
+  Machine m = allpairs_machine_mesh(sys);
+  auto events = all_collision_times(m, sys);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NEAR(events[0].time, 1.0, 1e-9);  // P2 hits P0 at t=1
+  EXPECT_EQ(events[0].a, 0u);
+  EXPECT_EQ(events[0].b, 2u);
+  EXPECT_NEAR(events[1].time, 3.0, 1e-9);  // P2 hits P1 at t=3
+  EXPECT_EQ(events[1].a, 1u);
+  EXPECT_EQ(events[1].b, 2u);
+}
+
+TEST(AllCollisions, SortedAndVerified) {
+  Rng rng(9);
+  MotionSystem sys = random_motion_system(rng, 10, 2, 2);
+  Machine m = allpairs_machine_hypercube(sys);
+  auto events = all_collision_times(m, sys);
+  double last = -1;
+  for (const auto& e : events) {
+    EXPECT_GE(e.time, last);
+    last = e.time;
+    EXPECT_NEAR(sys.point(e.a).distance_squared(sys.point(e.b))(e.time), 0.0,
+                1e-6);
+  }
+}
+
+TEST(PairSequence, MachineSizeIsQuadratic) {
+  Rng rng(4);
+  MotionSystem sys = random_motion_system(rng, 12, 2, 1);
+  Machine m = allpairs_machine_mesh(sys);
+  // lambda(66, 2) = 131 -> next power of 4 = 256.
+  EXPECT_GE(m.size(), 66u * 2 - 1);
+}
+
+TEST(PairSequence, PieceCountWithinAllPairsLambda) {
+  Rng rng(12);
+  MotionSystem sys = random_motion_system(rng, 9, 2, 2);
+  Machine m = allpairs_machine_hypercube(sys);
+  EnvelopeRunStats stats;
+  PairSequence seq = closest_pair_sequence(m, sys, false, &stats);
+  std::size_t pairs = 9 * 8 / 2;
+  EXPECT_LE(seq.epochs.size(), lambda_upper_bound(pairs, 4));
+}
+
+}  // namespace
+}  // namespace dyncg

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "poly/bigfloat.hpp"
+#include "steady/static_geometry.hpp"
+#include "support/rng.hpp"
+
+namespace dyncg {
+namespace {
+
+TEST(BigFloat, ExactConversionRoundTrip) {
+  for (double x : {0.0, 1.0, -1.0, 0.5, 3.25, -1234.0625, 1e-300, 1e300,
+                   4503599627370497.0 /* 2^52 + 1 */}) {
+    BigFloat b(x);
+    EXPECT_EQ(b.sign(), x > 0 ? 1 : (x < 0 ? -1 : 0)) << x;
+    if (x != 0.0) {
+      EXPECT_NEAR(b.approx() / x, 1.0, 1e-15) << x;
+    }
+  }
+}
+
+TEST(BigFloat, RingArithmetic) {
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Small integers: exact comparisons against long arithmetic.
+    long a = rng.uniform_int(-100000, 100000);
+    long b = rng.uniform_int(-100000, 100000);
+    BigFloat A = BigFloat::from_int(a), B = BigFloat::from_int(b);
+    EXPECT_EQ((A + B).approx(), static_cast<double>(a + b));
+    EXPECT_EQ((A - B).approx(), static_cast<double>(a - b));
+    EXPECT_EQ((A * B).approx(), static_cast<double>(a * b));
+    EXPECT_EQ((A * B).sign(),
+              (a * b > 0) ? 1 : ((a * b < 0) ? -1 : 0));
+  }
+}
+
+TEST(BigFloat, ExactCancellation) {
+  // (x + y) - x == y exactly, even when y is 2^-60 times smaller.
+  double x = 1e18, y = 0.001953125;  // y = 2^-9, exactly representable
+  BigFloat r = (BigFloat(x) + BigFloat(y)) - BigFloat(x);
+  EXPECT_EQ(r.approx(), y);  // double arithmetic would lose y entirely
+  EXPECT_EQ((r - BigFloat(y)).sign(), 0);
+}
+
+TEST(BigFloat, MixedScaleProducts) {
+  // (3 * 2^-40) * (5 * 2^45) = 15 * 2^5 = 480, exactly.
+  double a = std::ldexp(3.0, -40), b = std::ldexp(5.0, 45);
+  BigFloat p = BigFloat(a) * BigFloat(b);
+  EXPECT_EQ(p.approx(), 480.0);
+}
+
+TEST(ExactPredicates, Orient2dBasic) {
+  EXPECT_EQ(exact_orient2d(0, 0, 1, 0, 0, 1), 1);   // ccw
+  EXPECT_EQ(exact_orient2d(0, 0, 0, 1, 1, 0), -1);  // cw
+  EXPECT_EQ(exact_orient2d(0, 0, 1, 1, 2, 2), 0);   // collinear
+}
+
+TEST(ExactPredicates, AgreesWithDoublesAwayFromDegeneracy) {
+  Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    double ax = rng.uniform(-10, 10), ay = rng.uniform(-10, 10);
+    double bx = rng.uniform(-10, 10), by = rng.uniform(-10, 10);
+    double cx = rng.uniform(-10, 10), cy = rng.uniform(-10, 10);
+    Point2<double> A{ax, ay, 0}, B{bx, by, 1}, C{cx, cy, 2};
+    int fast = orientation(A, B, C);
+    int exact = exact_orient2d(ax, ay, bx, by, cx, cy);
+    if (fast != 0) {
+      EXPECT_EQ(fast, exact);
+    }
+  }
+}
+
+TEST(ExactPredicates, ResolvesNearDegenerateOrientations) {
+  // Shewchuk's classic failure pattern: a point nearly on the segment,
+  // offset by one ulp.  The exact predicate must classify consistently.
+  double base = 0.5;
+  double eps = std::ldexp(1.0, -52);
+  // C exactly on AB.
+  EXPECT_EQ(exact_orient2d(0, 0, 1, 1, base, base), 0);
+  // C one ulp above the line: strictly ccw, however tiny.
+  EXPECT_EQ(exact_orient2d(0, 0, 1, 1, base, base + base * eps), 1);
+  // One ulp below: strictly cw.
+  EXPECT_EQ(exact_orient2d(0, 0, 1, 1, base, base - base * eps), -1);
+}
+
+TEST(ExactPredicates, CompareDist2) {
+  EXPECT_EQ(exact_compare_dist2(0, 0, 3, 4, 0, 0, 5, 0), 0);   // 25 == 25
+  EXPECT_EQ(exact_compare_dist2(0, 0, 3, 4, 0, 0, 5.0000001, 0), -1);
+  EXPECT_EQ(exact_compare_dist2(0, 0, 3, 4, 0, 0, 4.9999999, 0), 1);
+  // Distances differing at the 2^-50 level, far beyond double rounding of
+  // the naive subtraction-of-squares.
+  double d = 1e8;
+  double bump = std::ldexp(1.0, -20);
+  EXPECT_EQ(exact_compare_dist2(0, 0, d, 0, 0, 0, d + bump, 0), -1);
+}
+
+TEST(ExactPredicates, HullVerificationOnCircle) {
+  // All points on a circle: the fast hull must produce a polygon whose
+  // turns the exact predicate also certifies as strictly ccw.
+  std::vector<Point2<double>> pts;
+  for (int i = 0; i < 40; ++i) {
+    double a = 2 * M_PI * i / 40.0;
+    pts.push_back(Point2<double>{std::cos(a), std::sin(a),
+                                 static_cast<std::size_t>(i)});
+  }
+  auto hull = convex_hull(pts);
+  ASSERT_EQ(hull.size(), 40u);
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    const auto& A = hull[i];
+    const auto& B = hull[(i + 1) % hull.size()];
+    const auto& C = hull[(i + 2) % hull.size()];
+    EXPECT_EQ(exact_orient2d(A.x, A.y, B.x, B.y, C.x, C.y), 1) << i;
+  }
+}
+
+}  // namespace
+}  // namespace dyncg

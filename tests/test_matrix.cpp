@@ -1,0 +1,220 @@
+// Cross-cutting parameterized sweeps: dimensions x degrees x machines for
+// the Section 4 pipelines, block widths and orderings for the ops layer.
+// These are the "does the whole stack hold up away from the defaults"
+// tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "dyncg/collision.hpp"
+#include "dyncg/containment.hpp"
+#include "dyncg/proximity.hpp"
+#include "ops/crcw.hpp"
+#include "ops/sorting.hpp"
+#include "support/rng.hpp"
+
+namespace dyncg {
+namespace {
+
+// --- proximity across dimensions and degrees ---------------------------------
+
+class ProximityMatrix
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ProximityMatrix, NeighborSequenceHoldsInAnyDimension) {
+  auto [dim, k, which] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(dim * 100 + k * 10 + which));
+  MotionSystem sys = random_motion_system(rng, 7, static_cast<std::size_t>(dim),
+                                          k);
+  Machine m = which == 0 ? proximity_machine_mesh(sys)
+                         : proximity_machine_hypercube(sys);
+  NeighborSequence seq = neighbor_sequence(m, sys, 0);
+  for (double t = 0.031; t < 30; t = t * 1.41 + 0.029) {
+    std::size_t got = seq.neighbor_at(t);
+    std::size_t want = brute_force_neighbor(sys, 0, t, false);
+    double dg = sys.point(0).distance_squared(sys.point(got))(t);
+    double dw = sys.point(0).distance_squared(sys.point(want))(t);
+    EXPECT_NEAR(dg, dw, 1e-6 * (1 + dw)) << "dim=" << dim << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsDegrees, ProximityMatrix,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(0, 1)));
+
+// --- containment across dimensions --------------------------------------------
+
+class ContainmentMatrix : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ContainmentMatrix, SpreadsHoldInAnyDimension) {
+  auto [dim, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(500 + dim * 10 + k));
+  MotionSystem sys = random_motion_system(rng, 6, static_cast<std::size_t>(dim),
+                                          std::max(1, k));
+  Machine m = containment_machine_hypercube(sys);
+  auto spreads = coordinate_spreads(m, sys);
+  ASSERT_EQ(spreads.size(), static_cast<std::size_t>(dim));
+  for (double t = 0.047; t < 25; t = t * 1.53 + 0.031) {
+    for (std::size_t c = 0; c < spreads.size(); ++c) {
+      EXPECT_NEAR(spreads[c](t), brute_force_spread(sys, c, t), 1e-6)
+          << "dim=" << dim << " k=" << k << " c=" << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DimsDegrees, ContainmentMatrix,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values(1, 2, 3)));
+
+// --- collisions in higher dimensions -------------------------------------------
+
+TEST(CollisionMatrix, ThreeDimensionalPlantedCollision) {
+  std::vector<Trajectory> pts;
+  pts.push_back(Trajectory::fixed({0.0, 0.0, 0.0}));
+  // Passes through the origin at t = 3 in 3-space.
+  pts.push_back(Trajectory({Polynomial({-3.0, 1.0}), Polynomial({6.0, -2.0}),
+                            Polynomial({-1.5, 0.5})}));
+  pts.push_back(Trajectory::fixed({5.0, 5.0, 5.0}));
+  MotionSystem sys(3, std::move(pts));
+  Machine m = collision_machine_hypercube(sys);
+  CollisionReport rep = collision_times(m, sys, 0);
+  ASSERT_EQ(rep.events.size(), 1u);
+  EXPECT_NEAR(rep.events[0].time, 3.0, 1e-9);
+  EXPECT_EQ(rep.events[0].other, 1u);
+}
+
+TEST(CollisionMatrix, NearMissIsNotACollision) {
+  // Passes within 0.1 of the origin but never touches it.
+  std::vector<Trajectory> pts;
+  pts.push_back(Trajectory::fixed({0.0, 0.0}));
+  pts.push_back(Trajectory({Polynomial({-3.0, 1.0}), Polynomial({0.1})}));
+  MotionSystem sys(2, std::move(pts));
+  Machine m = collision_machine_mesh(sys);
+  EXPECT_TRUE(collision_times(m, sys, 0).events.empty());
+}
+
+// --- ops: every mesh ordering must sort correctly -------------------------------
+
+class SortOrderingMatrix
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SortOrderingMatrix, BitonicSortsUnderAllOrderings) {
+  auto [order_idx, seed] = GetParam();
+  MeshOrder order = static_cast<MeshOrder>(order_idx);
+  Machine m(std::make_shared<MeshTopology>(8, order));
+  Rng rng(static_cast<std::uint64_t>(seed));
+  std::vector<long> v(m.size());
+  for (long& x : v) x = rng.uniform_int(-1000, 1000);
+  std::vector<long> expect = v;
+  std::sort(expect.begin(), expect.end());
+  ops::bitonic_sort(m, v);
+  EXPECT_EQ(v, expect) << to_string(order);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, SortOrderingMatrix,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Range(0, 4)));
+
+// --- ops: block widths -----------------------------------------------------------
+
+class BlockWidthMatrix : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlockWidthMatrix, SortMergePrefixRespectBlocks) {
+  std::size_t width = std::size_t{1} << GetParam();
+  Machine m = Machine::hypercube_for(64);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 31);
+
+  // Sort per block.
+  std::vector<long> v(64);
+  for (long& x : v) x = rng.uniform_int(0, 999);
+  std::vector<long> expect = v;
+  ops::bitonic_sort(m, v, std::less<long>{}, width);
+  for (std::size_t b = 0; b < 64; b += width) {
+    std::sort(expect.begin() + static_cast<long>(b),
+              expect.begin() + static_cast<long>(b + width));
+  }
+  EXPECT_EQ(v, expect) << "width=" << width;
+
+  // Prefix per block.
+  std::vector<long> p(64, 1);
+  ops::prefix(m, p, std::plus<long>{}, width);
+  for (std::size_t r = 0; r < 64; ++r) {
+    EXPECT_EQ(p[r], static_cast<long>(r % width + 1));
+  }
+
+  // Merge per block (two sorted halves per block).
+  if (width >= 2) {
+    std::vector<long> mg(64);
+    for (std::size_t b = 0; b < 64; b += width) {
+      for (std::size_t i = 0; i < width / 2; ++i) {
+        mg[b + i] = static_cast<long>(2 * i + 1);
+        mg[b + width / 2 + i] = static_cast<long>(2 * i);
+      }
+    }
+    ops::bitonic_merge(m, mg, std::less<long>{}, width);
+    for (std::size_t b = 0; b < 64; b += width) {
+      for (std::size_t i = 0; i + 1 < width; ++i) {
+        EXPECT_LE(mg[b + i], mg[b + i + 1]) << "width=" << width;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BlockWidthMatrix, ::testing::Range(1, 7));
+
+// --- concurrent read under duplicate and adversarial keys ------------------------
+
+class CrcwMatrix : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrcwMatrix, ConcurrentReadWithDuplicateDataKeys) {
+  Machine m = Machine::mesh_for(64);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 77);
+  std::vector<std::optional<std::pair<long, long>>> data(64);
+  std::vector<std::optional<long>> queries(64);
+  // Few distinct keys, many owners and readers.
+  for (std::size_t r = 0; r < 32; ++r) {
+    long key = rng.uniform_int(0, 4);
+    data[r] = std::pair<long, long>{key, key * 100};  // value determined by key
+  }
+  for (std::size_t r = 32; r < 64; ++r) queries[r] = rng.uniform_int(0, 6);
+  auto got = ops::concurrent_read<long, long>(m, data, queries);
+  std::set<long> present;
+  for (std::size_t r = 0; r < 32; ++r) {
+    if (data[r]) present.insert(data[r]->first);
+  }
+  for (std::size_t r = 32; r < 64; ++r) {
+    long q = *queries[r];
+    if (present.count(q)) {
+      ASSERT_TRUE(got[r].has_value()) << "q=" << q;
+      EXPECT_EQ(*got[r], q * 100);
+    } else {
+      EXPECT_FALSE(got[r].has_value()) << "q=" << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrcwMatrix, ::testing::Range(0, 6));
+
+// --- slotted sort sizes ------------------------------------------------------------
+
+class SlottedSortMatrix : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlottedSortMatrix, SortsAnySlotCount) {
+  std::size_t slots = std::size_t{1} << GetParam();
+  Machine m = Machine::hypercube_for(32);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 13);
+  std::vector<long> file(m.size() * slots);
+  for (long& x : file) x = rng.uniform_int(0, 100000);
+  std::vector<long> expect = file;
+  std::sort(expect.begin(), expect.end());
+  ops::bitonic_sort_slotted(m, file, slots);
+  EXPECT_EQ(file, expect) << "slots=" << slots;
+}
+
+INSTANTIATE_TEST_SUITE_P(Slots, SlottedSortMatrix, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace dyncg

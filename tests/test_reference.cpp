@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "machine/machine.hpp"
+#include "machine/reference_ops.hpp"
+#include "ops/basic.hpp"
+#include "ops/sorting.hpp"
+#include "pram/crew_memory.hpp"
+#include "support/rng.hpp"
+
+namespace dyncg {
+namespace {
+
+// Layer A vs Layer B: the hop-by-hop ladder all-reduce must produce the
+// same result and land within a small constant of the analytic charge.
+class AllReduceValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllReduceValidation, HopByHopMatchesLayerB) {
+  std::shared_ptr<const Topology> topo;
+  switch (GetParam()) {
+    case 0: topo = std::make_shared<MeshTopology>(8, MeshOrder::kShuffledRowMajor); break;
+    case 1: topo = std::make_shared<MeshTopology>(8, MeshOrder::kProximity); break;
+    default: topo = std::make_shared<HypercubeTopology>(6); break;
+  }
+  std::vector<long> vals(topo->size());
+  std::iota(vals.begin(), vals.end(), 1L);
+  long want = std::accumulate(vals.begin(), vals.end(), 0L);
+  std::uint64_t ref_rounds = fabric_reference::allreduce_sum(*topo, vals);
+  for (long v : vals) EXPECT_EQ(v, want);
+
+  Machine m(topo);
+  std::vector<long> regs(topo->size());
+  std::iota(regs.begin(), regs.end(), 1L);
+  CostMeter meter(m.ledger());
+  ops::reduce(m, regs, std::plus<long>{});
+  std::uint64_t charged = meter.elapsed().rounds;
+  EXPECT_GE(ref_rounds, charged / 2);
+  EXPECT_LE(ref_rounds, 4 * charged + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, AllReduceValidation,
+                         ::testing::Values(0, 1, 2));
+
+TEST(ReferenceOps, PrefixSumHopByHop) {
+  HypercubeTopology cube(5);
+  std::vector<long> vals(cube.size(), 1);
+  std::uint64_t rounds = fabric_reference::prefix_sum(cube, vals);
+  for (std::size_t r = 0; r < cube.size(); ++r) {
+    EXPECT_EQ(vals[r], static_cast<long>(r + 1));
+  }
+  EXPECT_LE(rounds, 2u * 5u);  // <= 2 hops per ladder level in Gray order
+}
+
+TEST(ReferenceOps, MeshBroadcastSweep) {
+  MeshTopology mesh(8);
+  std::vector<long> vals(mesh.size(), -1);
+  std::size_t src = 17;
+  vals[src] = 1234;
+  std::uint64_t rounds = fabric_reference::mesh_broadcast(mesh, src, vals);
+  for (long v : vals) EXPECT_EQ(v, 1234);
+  // Lower bound: eccentricity of the source; upper: the two-sweep bound.
+  std::size_t ecc = 0;
+  for (std::size_t v = 0; v < mesh.size(); ++v) {
+    ecc = std::max(ecc, mesh.shortest_path(mesh.node_of_rank(src), v));
+  }
+  EXPECT_GE(rounds, ecc);
+  EXPECT_LE(rounds, 2 * (mesh.side() - 1) + 1);
+}
+
+TEST(ReferenceOps, MeshBroadcastFromEveryCorner) {
+  MeshTopology mesh(4);
+  for (std::size_t src : {0u, 3u, 12u, 15u}) {
+    std::vector<long> vals(mesh.size(), 0);
+    vals[src] = static_cast<long>(src) + 7;
+    fabric_reference::mesh_broadcast(mesh, src, vals);
+    for (long v : vals) EXPECT_EQ(v, static_cast<long>(src) + 7);
+  }
+}
+
+// Layer A vs Layer B for the composed sort: the hop-by-hop bitonic sort
+// must actually sort and land within a small constant of the analytic
+// charge on every topology/ordering.
+class BitonicReferenceValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitonicReferenceValidation, HopByHopSortsAndMatchesCharge) {
+  std::shared_ptr<const Topology> topo;
+  switch (GetParam()) {
+    case 0: topo = std::make_shared<MeshTopology>(8, MeshOrder::kShuffledRowMajor); break;
+    case 1: topo = std::make_shared<MeshTopology>(8, MeshOrder::kProximity); break;
+    case 2: topo = std::make_shared<HypercubeTopology>(6, CubeOrder::kNatural); break;
+    default: topo = std::make_shared<HypercubeTopology>(6); break;
+  }
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 5);
+  std::vector<long> vals(topo->size());
+  for (long& v : vals) v = rng.uniform_int(-500, 500);
+  std::vector<long> expect = vals;
+  std::sort(expect.begin(), expect.end());
+  std::uint64_t ref_rounds = fabric_reference::bitonic_sort_reference(*topo, vals);
+  EXPECT_EQ(vals, expect);
+
+  Machine m(topo);
+  std::vector<long> regs(topo->size());
+  for (long& v : regs) v = rng.uniform_int(-500, 500);
+  CostMeter meter(m.ledger());
+  ops::bitonic_sort(m, regs);
+  std::uint64_t charged = meter.elapsed().rounds;
+  EXPECT_GE(ref_rounds, charged / 2) << topo->name();
+  EXPECT_LE(ref_rounds, 4 * charged + 2) << topo->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, BitonicReferenceValidation,
+                         ::testing::Values(0, 1, 2, 3));
+
+// --- CREW memory -------------------------------------------------------------
+
+TEST(CrewMemory, StepSemantics) {
+  CrewMemory<long> mem(4);
+  mem.slot(0) = 10;
+  mem.slot(1) = 20;
+  // Reads during a step see pre-step values even after writes.
+  mem.write(0, 99);
+  EXPECT_EQ(mem.read(0), 10);
+  mem.end_step();
+  EXPECT_EQ(mem.read(0), 99);
+  EXPECT_EQ(mem.steps(), 1u);
+}
+
+TEST(CrewMemory, ExclusiveWriteEnforced) {
+  EXPECT_DEATH(
+      {
+        CrewMemory<long> mem(2);
+        mem.write(0, 1);
+        mem.write(0, 2);  // second write to the same cell, same step
+      },
+      "CREW violation");
+}
+
+TEST(CrewMemory, ConcurrentReadsAllowed) {
+  CrewMemory<long> mem(8);
+  mem.slot(3) = 42;
+  long sum = 0;
+  for (int i = 0; i < 100; ++i) sum += mem.read(3);  // 100 concurrent reads
+  EXPECT_EQ(sum, 4200);
+  mem.end_step();
+  EXPECT_EQ(mem.steps(), 1u);
+}
+
+TEST(CrewPrograms, PrefixSumLogSteps) {
+  for (std::size_t n : {8u, 64u, 256u}) {
+    CrewMemory<long> mem(n);
+    for (std::size_t i = 0; i < n; ++i) mem.slot(i) = 1;
+    std::uint64_t steps = crew_prefix_sum(mem, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(mem.read(i), static_cast<long>(i + 1));
+    }
+    EXPECT_EQ(steps, static_cast<std::uint64_t>(std::ceil(std::log2(n))));
+  }
+}
+
+TEST(CrewPrograms, MergeLogSteps) {
+  Rng rng(11);
+  for (std::size_t n : {8u, 32u, 128u}) {
+    CrewMemory<long> mem(2 * n);
+    std::vector<long> a(n), b(n);
+    for (auto& x : a) x = rng.uniform_int(0, 1000);
+    for (auto& x : b) x = rng.uniform_int(0, 1000);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    for (std::size_t i = 0; i < n; ++i) {
+      mem.slot(i) = a[i];
+      mem.slot(n + i) = b[i];
+    }
+    std::uint64_t steps = crew_merge(mem, n);
+    std::vector<long> want(a);
+    want.insert(want.end(), b.begin(), b.end());
+    std::sort(want.begin(), want.end());
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+      EXPECT_EQ(mem.read(i), want[i]) << "i=" << i << " n=" << n;
+    }
+    EXPECT_LE(steps, static_cast<std::uint64_t>(std::log2(n)) + 3);
+  }
+}
+
+TEST(CrewPrograms, MergeWithDuplicates) {
+  std::size_t n = 16;
+  CrewMemory<long> mem(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    mem.slot(i) = static_cast<long>(i / 4);      // 0 0 0 0 1 1 1 1 ...
+    mem.slot(n + i) = static_cast<long>(i / 8);  // 0 x8, 1 x8
+  }
+  crew_merge(mem, n);
+  for (std::size_t i = 1; i < 2 * n; ++i) {
+    EXPECT_LE(mem.read(i - 1), mem.read(i));
+  }
+}
+
+}  // namespace
+}  // namespace dyncg

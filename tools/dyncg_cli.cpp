@@ -1,0 +1,267 @@
+// dyncg_cli — command-line driver for the library.
+//
+//   dyncg_cli <command> [options]
+//
+// Commands:
+//   neighbor    Theorem 4.1: nearest/farthest sequence for a query point
+//   pairs       Section 6 ext.: closest/farthest pair sequence
+//   collisions  Theorem 4.2: collision times for a query point
+//   hullwhen    Theorem 4.5: when is the query a hull vertex
+//   contain     Theorem 4.6/4.8: containment intervals / smallest cube
+//   steady      Section 5: steady-state survey
+//   envelope    Theorem 3.2: min function of random polynomials
+//   topo        print a topology's pattern costs
+//
+// Common options:
+//   --n <int>         number of points/functions        (default 8)
+//   --k <int>         motion degree                     (default 2)
+//   --d <int>         space dimension                   (default 2)
+//   --seed <int>      workload seed                     (default 1)
+//   --machine <mesh|hypercube|ccc|shuffle>              (default mesh)
+//   --query <int>     query point index                 (default 0)
+//   --farthest        use the farthest variant
+//   --adaptive        adaptive (submesh) envelope
+//   --box <w,h,...>   rectangle dimensions for `contain`
+//   --file <path>     load the system from a dyncg-motion file
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "dyncg/allpairs.hpp"
+#include "dyncg/collision.hpp"
+#include "dyncg/motion_io.hpp"
+#include "dyncg/containment.hpp"
+#include "dyncg/hull_membership.hpp"
+#include "dyncg/proximity.hpp"
+#include "envelope/parallel_envelope.hpp"
+#include "machine/other_topologies.hpp"
+#include "pieces/envelope_serial.hpp"
+#include "steady/machine_geometry.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace dyncg;
+
+struct Options {
+  std::string command;
+  std::size_t n = 8;
+  int k = 2;
+  std::size_t d = 2;
+  std::uint64_t seed = 1;
+  std::string machine = "mesh";
+  std::size_t query = 0;
+  bool farthest = false;
+  bool adaptive = false;
+  std::vector<double> box;
+  std::string file;  // load the system from a dyncg-motion file instead
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <neighbor|pairs|collisions|hullwhen|contain|steady|"
+               "envelope|topo> [--n N] [--k K] [--d D] [--seed S] "
+               "[--machine mesh|hypercube|ccc|shuffle] [--query Q] "
+               "[--farthest] [--adaptive] [--box w,h,...]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  Options o;
+  o.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (a == "--n") {
+      o.n = static_cast<std::size_t>(std::atol(next()));
+    } else if (a == "--k") {
+      o.k = std::atoi(next());
+    } else if (a == "--d") {
+      o.d = static_cast<std::size_t>(std::atol(next()));
+    } else if (a == "--seed") {
+      o.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (a == "--machine") {
+      o.machine = next();
+    } else if (a == "--query") {
+      o.query = static_cast<std::size_t>(std::atol(next()));
+    } else if (a == "--farthest") {
+      o.farthest = true;
+    } else if (a == "--adaptive") {
+      o.adaptive = true;
+    } else if (a == "--file") {
+      o.file = next();
+    } else if (a == "--box") {
+      std::string spec = next();
+      std::size_t pos = 0;
+      while (pos < spec.size()) {
+        o.box.push_back(std::atof(spec.c_str() + pos));
+        pos = spec.find(',', pos);
+        if (pos == std::string::npos) break;
+        ++pos;
+      }
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return o;
+}
+
+Machine make_machine(const Options& o, std::size_t capacity) {
+  if (o.machine == "mesh") return Machine(make_mesh_for(capacity));
+  if (o.machine == "hypercube") return Machine(make_hypercube_for(capacity));
+  if (o.machine == "ccc") return Machine(make_ccc_for(capacity));
+  if (o.machine == "shuffle") {
+    return Machine(make_shuffle_exchange_for(capacity));
+  }
+  std::fprintf(stderr, "unknown machine '%s'\n", o.machine.c_str());
+  std::exit(2);
+}
+
+void report_cost(const Machine& m, const CostSnapshot& cost) {
+  std::printf("[%s, %zu PEs] %s\n", m.topology().name().c_str(), m.size(),
+              cost.to_string().c_str());
+}
+
+MotionSystem make_system(const Options& o) {
+  if (!o.file.empty()) return load_motion_system(o.file);
+  Rng rng(o.seed);
+  return random_motion_system(rng, o.n, o.d, o.k);
+}
+
+int cmd_neighbor(const Options& o) {
+  MotionSystem sys = make_system(o);
+  int s = std::max(1, 2 * sys.motion_degree());
+  Machine m = make_machine(o, lambda_upper_bound(ceil_pow2(o.n), s));
+  CostMeter meter(m.ledger());
+  NeighborSequence seq = neighbor_sequence(m, sys, o.query, o.farthest);
+  std::printf("%s\n", seq.to_string().c_str());
+  report_cost(m, meter.elapsed());
+  return 0;
+}
+
+int cmd_pairs(const Options& o) {
+  MotionSystem sys = make_system(o);
+  Machine m = o.machine == "mesh" ? allpairs_machine_mesh(sys)
+                                  : allpairs_machine_hypercube(sys);
+  CostMeter meter(m.ledger());
+  PairSequence seq = closest_pair_sequence(m, sys, o.farthest);
+  std::printf("%s\n", seq.to_string().c_str());
+  report_cost(m, meter.elapsed());
+  return 0;
+}
+
+int cmd_collisions(const Options& o) {
+  MotionSystem sys = make_system(o);
+  Machine m = make_machine(o, o.n);
+  CostMeter meter(m.ledger());
+  CollisionReport rep = collision_times(m, sys, o.query);
+  if (rep.events.empty()) std::printf("no collisions for P%zu\n", o.query);
+  for (const CollisionEvent& e : rep.events) {
+    std::printf("t = %10.4f  P%zu <-> P%zu\n", e.time, o.query, e.other);
+  }
+  report_cost(m, meter.elapsed());
+  return 0;
+}
+
+int cmd_hullwhen(const Options& o) {
+  MotionSystem sys = make_system(o);
+  Machine m = o.machine == "mesh" ? hull_membership_machine_mesh(sys)
+                                  : hull_membership_machine_hypercube(sys);
+  CostMeter meter(m.ledger());
+  IntervalSet hit = hull_membership_intervals(m, sys, o.query);
+  std::printf("P%zu is a hull vertex during %s\n", o.query,
+              hit.to_string().c_str());
+  report_cost(m, meter.elapsed());
+  return 0;
+}
+
+int cmd_contain(const Options& o) {
+  MotionSystem sys = make_system(o);
+  Machine m = o.machine == "mesh" ? containment_machine_mesh(sys)
+                                  : containment_machine_hypercube(sys);
+  CostMeter meter(m.ledger());
+  if (!o.box.empty()) {
+    std::vector<double> dims = o.box;
+    dims.resize(sys.dimension(), o.box.back());
+    IntervalSet J = containment_intervals(m, sys, dims);
+    std::printf("fits the box during %s\n", J.to_string().c_str());
+  } else {
+    SmallestCube cube = smallest_enclosing_cube(m, sys);
+    std::printf("smallest enclosing cube: edge %.4f at t = %.4f\n", cube.edge,
+                cube.time);
+  }
+  report_cost(m, meter.elapsed());
+  return 0;
+}
+
+int cmd_steady(const Options& o) {
+  Rng rng(o.seed);
+  MotionSystem sys = diverging_motion_system(rng, o.n, std::max(1, o.k));
+  Machine m = make_machine(o, o.n);
+  CostMeter meter(m.ledger());
+  std::printf("steady NN of P%zu: P%zu\n", o.query,
+              machine_steady_neighbor(m, sys, o.query, o.farthest));
+  auto hull = machine_steady_hull_ids(m, sys);
+  std::printf("steady hull: ");
+  for (std::size_t id : hull) std::printf("P%zu ", id);
+  std::printf("\n");
+  auto far = machine_steady_farthest_pair(m, sys);
+  std::printf("steady farthest pair: (P%zu, P%zu)\n", far.a, far.b);
+  report_cost(m, meter.elapsed());
+  return 0;
+}
+
+int cmd_envelope(const Options& o) {
+  Rng rng(o.seed);
+  std::vector<Polynomial> fns;
+  for (std::size_t i = 0; i < o.n; ++i) {
+    std::vector<double> c(static_cast<std::size_t>(o.k) + 1);
+    for (double& x : c) x = rng.uniform(-2, 2);
+    fns.push_back(Polynomial(c));
+  }
+  PolyFamily fam(std::move(fns));
+  Machine m = make_machine(o, lambda_upper_bound(ceil_pow2(o.n), o.k));
+  CostMeter meter(m.ledger());
+  PiecewiseFn env = parallel_envelope(m, fam, std::max(1, o.k),
+                                      /*take_min=*/!o.farthest, nullptr,
+                                      o.adaptive);
+  std::printf("%s envelope, %zu pieces:\n  %s\n",
+              o.farthest ? "upper" : "lower", env.piece_count(),
+              env.to_string().c_str());
+  report_cost(m, meter.elapsed());
+  return 0;
+}
+
+int cmd_topo(const Options& o) {
+  Machine m = make_machine(o, o.n);
+  const Topology& t = m.topology();
+  std::printf("%s: %zu PEs, diameter %zu, unit shift %u rounds\n",
+              t.name().c_str(), t.size(), t.diameter(), t.shift_rounds());
+  std::printf("offset-exchange rounds:");
+  for (int k = 0; (std::size_t{2} << k) <= t.size(); ++k) {
+    std::printf(" k=%d:%u", k, t.exchange_rounds(static_cast<unsigned>(k)));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o = parse(argc, argv);
+  if (o.command == "neighbor") return cmd_neighbor(o);
+  if (o.command == "pairs") return cmd_pairs(o);
+  if (o.command == "collisions") return cmd_collisions(o);
+  if (o.command == "hullwhen") return cmd_hullwhen(o);
+  if (o.command == "contain") return cmd_contain(o);
+  if (o.command == "steady") return cmd_steady(o);
+  if (o.command == "envelope") return cmd_envelope(o);
+  if (o.command == "topo") return cmd_topo(o);
+  usage(argv[0]);
+}

@@ -36,6 +36,10 @@ void print_mesh_sort_ablation() {
   Row oet{"odd-even transposition", {}, {}, "Theta(n)"};
   for (std::size_t n : {64u, 256u, 1024u, 4096u, 16384u}) {
     auto keys = random_keys(n, n);
+    // Host-sorted oracle for the machine sorts below (host_sort uses the
+    // __gnu_parallel path when DYNCG_PARALLEL is on and DYNCG_THREADS > 1).
+    auto expected = keys;
+    host_sort(expected.begin(), expected.end());
     {
       Machine m(std::make_shared<MeshTopology>(
           static_cast<std::uint32_t>(std::sqrt(static_cast<double>(n))),
@@ -43,6 +47,7 @@ void print_mesh_sort_ablation() {
       auto v = keys;
       CostMeter meter(m.ledger());
       ops::bitonic_sort(m, v);
+      DYNCG_ASSERT(v == expected, "bitonic sort disagrees with the host sort");
       bitonic.n.push_back(static_cast<double>(n));
       bitonic.rounds.push_back(static_cast<double>(meter.elapsed().rounds));
     }

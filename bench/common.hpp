@@ -11,20 +11,42 @@
 // measuring the simulator itself).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
 #include <string>
 #include <vector>
+
+#if defined(DYNCG_HAVE_PARALLEL_SORT)
+#include <parallel/algorithm>
+#endif
 
 #include "dyncg/motion.hpp"
 #include "machine/machine.hpp"
 #include "pieces/piecewise.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace dyncg {
 namespace bench {
+
+// Sort used by bench data generation and oracle checks.  With the
+// DYNCG_PARALLEL CMake option (and OpenMP present) this dispatches to the
+// libstdc++ parallel-mode sort when more than one host thread is requested;
+// it always falls back to std::sort, so the output is identical either way.
+template <class It, class Less = std::less<typename std::iterator_traits<It>::value_type>>
+inline void host_sort(It first, It last, Less less = Less{}) {
+#if defined(DYNCG_HAVE_PARALLEL_SORT)
+  if (host_threads() > 1) {
+    __gnu_parallel::sort(first, last, less);
+    return;
+  }
+#endif
+  std::sort(first, last, less);
+}
 
 // Least-squares slope of log(y) against log(x): the measured growth
 // exponent.

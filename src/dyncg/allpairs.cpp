@@ -6,6 +6,7 @@
 #include "ops/basic.hpp"
 #include "ops/sorting.hpp"
 #include "support/assert.hpp"
+#include "support/thread_pool.hpp"
 
 namespace dyncg {
 namespace {
@@ -20,13 +21,18 @@ struct PairFamily {
 
 PairFamily build_pair_family(const MotionSystem& system) {
   PairFamily out;
-  std::vector<Polynomial> dist2;
-  for (std::size_t i = 0; i < system.size(); ++i) {
-    for (std::size_t j = i + 1; j < system.size(); ++j) {
-      dist2.push_back(system.point(i).distance_squared(system.point(j)));
-      out.pairs.emplace_back(i, j);
-    }
+  const std::size_t n = system.size();
+  out.pairs.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) out.pairs.emplace_back(i, j);
   }
+  // The squared-distance polynomials are independent per pair — the heavy
+  // part of the O(n^2) loading step runs across host threads.
+  std::vector<Polynomial> dist2(out.pairs.size());
+  parallel_for(out.pairs.size(), [&](std::size_t p) {
+    auto [i, j] = out.pairs[p];
+    dist2[p] = system.point(i).distance_squared(system.point(j));
+  });
   out.family = PolyFamily(std::move(dist2));
   return out;
 }
@@ -96,7 +102,9 @@ std::vector<AllCollisionEvent> all_collision_times(Machine& m,
   DYNCG_ASSERT(pf.pairs.size() <= m.size(),
                "machine smaller than the pair count");
   std::vector<Slot> file(m.size() * slots, Slot{kDead, 0, 0});
-  for (std::size_t p = 0; p < pf.pairs.size(); ++p) {
+  // Root isolation per pair is independent; pair p writes only its own slot
+  // range [p * slots, (p + 1) * slots).
+  parallel_for(pf.pairs.size(), [&](std::size_t p) {
     auto [i, j] = pf.pairs[p];
     std::vector<double> roots =
         pair_collision_times(system.point(i), system.point(j));
@@ -104,7 +112,7 @@ std::vector<AllCollisionEvent> all_collision_times(Machine& m,
     for (std::size_t r = 0; r < roots.size(); ++r) {
       file[p * slots + r] = Slot{roots[r], i, j};
     }
-  }
+  });
   ops::bitonic_sort_slotted(m, file, slots);
   std::vector<AllCollisionEvent> out;
   for (const Slot& s : file) {

@@ -6,6 +6,7 @@
 #include "pieces/piecewise.hpp"
 #include "support/ackermann.hpp"
 #include "support/assert.hpp"
+#include "support/thread_pool.hpp"
 
 // Parallel construction of the minimum (or maximum) function — the paper's
 // central algorithm (Section 3).
@@ -87,13 +88,11 @@ PiecewiseFn parallel_envelope(Machine& m, const Family& fam, int s_bound,
   // level.
   std::vector<PiecewiseFn> strings(n2);
   m.charge_local(1);  // step 0: every PE forms its singleton piece list
-  for (std::size_t b = 0; b < n2; ++b) {
-    if (b < n) {
-      strings[b] = singleton_fn(fam, static_cast<int>(b));
-      DYNCG_ASSERT(strings[b].piece_count() <= base_w,
-                   "singleton pieces exceed the base string width");
-    }
-  }
+  parallel_for(n, [&](std::size_t b) {
+    strings[b] = singleton_fn(fam, static_cast<int>(b));
+    DYNCG_ASSERT(strings[b].piece_count() <= base_w,
+                 "singleton pieces exceed the base string width");
+  });
 
   std::size_t width = base_w;
   std::size_t count = n2;
@@ -111,18 +110,25 @@ PiecewiseFn parallel_envelope(Machine& m, const Family& fam, int s_bound,
     }
     envelope_detail::charge_combine_level(m, level_width, s_bound);
     std::vector<PiecewiseFn> next(count);
-    std::size_t level_max = 1;
-    for (std::size_t b = 0; b < count; ++b) {
-      const PiecewiseFn& left = strings[2 * b];
-      const PiecewiseFn& right = strings[2 * b + 1];
-      PiecewiseFn combined = combine_extremum(fam, left, right, take_min);
-      // One-piece-per-PE invariant (Lemma 2.4 / machine sizing).
-      DYNCG_ASSERT(combined.piece_count() <= width,
-                   "string overflow: machine sized below lambda(n,s)");
-      level_max = std::max(level_max, combined.piece_count());
-      st.max_pieces = std::max(st.max_pieces, combined.piece_count());
-      next[b] = std::move(combined);
-    }
+    // Strings are independent, so the per-string combines run across host
+    // threads; the max-reduction merges per-worker results in index order
+    // (charge_combine_level above already billed the whole level).
+    std::size_t level_max = parallel_reduce<std::size_t>(
+        count, std::size_t{1},
+        [&](std::size_t& acc, std::size_t b) {
+          const PiecewiseFn& left = strings[2 * b];
+          const PiecewiseFn& right = strings[2 * b + 1];
+          PiecewiseFn combined = combine_extremum(fam, left, right, take_min);
+          // One-piece-per-PE invariant (Lemma 2.4 / machine sizing).
+          DYNCG_ASSERT(combined.piece_count() <= width,
+                       "string overflow: machine sized below lambda(n,s)");
+          acc = std::max(acc, combined.piece_count());
+          next[b] = std::move(combined);
+        },
+        [](std::size_t& into, std::size_t from) {
+          into = std::max(into, from);
+        });
+    st.max_pieces = std::max(st.max_pieces, level_max);
     strings.swap(next);
     if (adaptive) {
       // Compact (or spread) every string into the smallest sufficient

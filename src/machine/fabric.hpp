@@ -1,5 +1,7 @@
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -21,18 +23,37 @@ template <class Msg>
 class Fabric {
  public:
   explicit Fabric(const Topology& topo, CostLedger* ledger = nullptr)
-      : topo_(topo), ledger_(ledger), inbox_(topo.size()), staged_(topo.size()) {}
+      : topo_(topo), ledger_(ledger), inbox_(topo.size()), staged_(topo.size()) {
+    // Flatten the adjacency into sorted per-node neighbor slices so send()
+    // can locate a directed link in O(log degree) instead of scanning the
+    // staged list (which made a full-degree round O(degree^2) per node).
+    std::size_t n = topo.size();
+    link_off_.resize(n + 1, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      std::vector<std::size_t> nb = topo.neighbors(v);
+      std::sort(nb.begin(), nb.end());
+      link_off_[v + 1] = link_off_[v] + nb.size();
+      link_to_.insert(link_to_.end(), nb.begin(), nb.end());
+    }
+    link_stamp_.assign(link_to_.size(), 0);
+  }
 
   const Topology& topology() const { return topo_; }
   std::uint64_t rounds() const { return rounds_; }
 
   // Stage a word from node `from` to adjacent node `to` for this round.
   void send(std::size_t from, std::size_t to, Msg m) {
-    DYNCG_ASSERT(topo_.adjacent(from, to), "fabric send on a non-link");
-    for (const auto& s : staged_[from]) {
-      DYNCG_ASSERT(s.first != to, "link capacity exceeded (one word per "
-                                  "directed link per round)");
-    }
+    auto first = link_to_.begin() + static_cast<std::ptrdiff_t>(link_off_[from]);
+    auto last = link_to_.begin() + static_cast<std::ptrdiff_t>(link_off_[from + 1]);
+    auto it = std::lower_bound(first, last, to);
+    DYNCG_ASSERT(it != last && *it == to, "fabric send on a non-link");
+    // The stamp records the round (plus one, so 0 means "never") in which
+    // this directed link last carried a word; no per-round clearing needed.
+    std::uint64_t& stamp =
+        link_stamp_[static_cast<std::size_t>(it - link_to_.begin())];
+    DYNCG_ASSERT(stamp != rounds_ + 1, "link capacity exceeded (one word per "
+                                       "directed link per round)");
+    stamp = rounds_ + 1;
     staged_[from].emplace_back(to, std::move(m));
   }
 
@@ -62,6 +83,11 @@ class Fabric {
   std::uint64_t rounds_ = 0;
   std::vector<std::vector<Msg>> inbox_;
   std::vector<std::vector<std::pair<std::size_t, Msg>>> staged_;
+  // CSR adjacency (sorted neighbors per node) + last-staged-round stamps,
+  // one per directed link.
+  std::vector<std::size_t> link_to_;
+  std::vector<std::size_t> link_off_;
+  std::vector<std::uint64_t> link_stamp_;
 };
 
 // Reference (hop-by-hop) implementations of the basic patterns, used by the

@@ -4,16 +4,18 @@
 
 namespace dyncg {
 
-void MachineProfile::add(const std::string& label, CostSnapshot delta) {
+void MachineProfile::add(const std::string& label, CostSnapshot delta,
+                         double wall_seconds) {
   for (Entry& e : entries_) {
     if (e.label == label) {
       e.cost.rounds += delta.rounds;
       e.cost.messages += delta.messages;
       e.cost.local_ops += delta.local_ops;
+      e.wall_seconds += wall_seconds;
       return;
     }
   }
-  entries_.push_back(Entry{label, delta});
+  entries_.push_back(Entry{label, delta, wall_seconds});
 }
 
 CostSnapshot MachineProfile::total() const {
@@ -35,11 +37,13 @@ std::string MachineProfile::report() const {
                        ? 0.0
                        : 100.0 * static_cast<double>(e.cost.rounds) /
                              static_cast<double>(t.rounds);
-    char buf[160];
-    std::snprintf(buf, sizeof(buf), "  %-32s %10llu rounds  %5.1f%%  (%llu local)\n",
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "  %-32s %10llu rounds  %5.1f%%  (%llu local)  %8.2f ms host\n",
                   e.label.c_str(),
                   static_cast<unsigned long long>(e.cost.rounds), share,
-                  static_cast<unsigned long long>(e.cost.local_ops));
+                  static_cast<unsigned long long>(e.cost.local_ops),
+                  e.wall_seconds * 1e3);
     os << buf;
   }
   return os.str();

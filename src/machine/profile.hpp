@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -14,6 +15,10 @@
 // envelope construction vs indicator passes vs packing.  Phases are scoped
 // RAII markers; nested phases attribute their costs to the innermost open
 // scope.  The report is what bench tables print when asked for a breakdown.
+//
+// Alongside the simulated cost, each phase records the *host* wall-clock it
+// consumed, so host-thread speedups (DYNCG_THREADS) are observable next to
+// the thread-count-invariant round figures.
 namespace dyncg {
 
 class MachineProfile {
@@ -21,6 +26,7 @@ class MachineProfile {
   struct Entry {
     std::string label;
     CostSnapshot cost;
+    double wall_seconds = 0.0;  // host time; varies with DYNCG_THREADS
   };
 
   explicit MachineProfile(Machine& m) : machine_(m) {}
@@ -31,9 +37,13 @@ class MachineProfile {
    public:
     Phase(MachineProfile& prof, std::string label)
         : prof_(prof), label_(std::move(label)),
-          start_(prof.machine_.ledger().snapshot()) {}
+          start_(prof.machine_.ledger().snapshot()),
+          wall_start_(std::chrono::steady_clock::now()) {}
     ~Phase() {
-      prof_.add(label_, prof_.machine_.ledger().snapshot() - start_);
+      std::chrono::duration<double> wall =
+          std::chrono::steady_clock::now() - wall_start_;
+      prof_.add(label_, prof_.machine_.ledger().snapshot() - start_,
+                wall.count());
     }
     Phase(const Phase&) = delete;
     Phase& operator=(const Phase&) = delete;
@@ -42,6 +52,7 @@ class MachineProfile {
     MachineProfile& prof_;
     std::string label_;
     CostSnapshot start_;
+    std::chrono::steady_clock::time_point wall_start_;
   };
 
   Phase phase(std::string label) { return Phase(*this, std::move(label)); }
@@ -51,12 +62,13 @@ class MachineProfile {
   // Total across phases.
   CostSnapshot total() const;
 
-  // Multi-line report: per-phase rounds, share of total, local ops.
+  // Multi-line report: per-phase rounds, share of total, local ops, and
+  // host wall-clock.
   std::string report() const;
 
  private:
   friend class Phase;
-  void add(const std::string& label, CostSnapshot delta);
+  void add(const std::string& label, CostSnapshot delta, double wall_seconds);
 
   Machine& machine_;
   std::vector<Entry> entries_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/thread_pool.hpp"
+
 namespace dyncg {
 namespace fabric_reference {
 
@@ -11,7 +13,10 @@ std::uint64_t allreduce_sum(const Topology& topo, std::vector<long>& values) {
   for (unsigned k = 0; (std::size_t{1} << (k + 1)) <= n; ++k) {
     std::vector<long> incoming = values;
     rounds += exchange_offset(topo, k, incoming);
-    for (std::size_t r = 0; r < n; ++r) values[r] += incoming[r];
+    // The per-PE fold after each replayed exchange is data-parallel; the
+    // hop-by-hop routing above stays serial (it mutates shared fabric state).
+    parallel_for(n, [&](std::size_t r) { values[r] += incoming[r]; },
+                 kRegisterLoopGrain);
   }
   return rounds;
 }
@@ -24,14 +29,14 @@ std::uint64_t prefix_sum(const Topology& topo, std::vector<long>& values) {
     std::size_t stride = std::size_t{1} << k;
     std::vector<long> incoming = total;
     rounds += exchange_offset(topo, k, incoming);
-    for (std::size_t r = 0; r < n; ++r) {
+    parallel_for(n, [&](std::size_t r) {
       if (r & stride) {
         values[r] += incoming[r];
         total[r] += incoming[r];
       } else {
         total[r] += incoming[r];
       }
-    }
+    }, kRegisterLoopGrain);
   }
   return rounds;
 }
@@ -91,13 +96,13 @@ std::uint64_t bitonic_sort_reference(const Topology& topo,
       while ((std::size_t{1} << (k + 1)) <= stride) ++k;
       std::vector<long> partner = values;
       rounds += exchange_offset(topo, k, partner);
-      for (std::size_t r = 0; r < n; ++r) {
+      parallel_for(n, [&](std::size_t r) {
         bool upper = (r & stride) != 0;
         bool ascending = (r & size) == 0;
         long lo = std::min(values[r], partner[r]);
         long hi = std::max(values[r], partner[r]);
         values[r] = (ascending == upper) ? hi : lo;
-      }
+      }, kRegisterLoopGrain);
     }
   }
   return rounds;

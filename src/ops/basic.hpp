@@ -7,6 +7,7 @@
 #include "machine/machine.hpp"
 #include "support/ackermann.hpp"
 #include "support/assert.hpp"
+#include "support/thread_pool.hpp"
 
 // Fundamental data movement operations (Section 2.6, Table 1), part 1:
 // semigroup computation, broadcast, parallel prefix (plain and segmented),
@@ -21,6 +22,11 @@
 // operations may be restricted to aligned blocks of `width` PEs ("strings"
 // operating in parallel); the charge is the single-string cost, since
 // disjoint strings work simultaneously.
+//
+// The per-rank loops are data-parallel (each rank writes only its own slot,
+// reading a pre-exchange snapshot) and execute across host threads on large
+// machines; all pattern charges are issued before the loop, so the ledger is
+// independent of the host thread count (docs/PARALLELISM.md).
 namespace dyncg {
 namespace ops {
 
@@ -47,7 +53,7 @@ void reduce(Machine& m, std::vector<T>& regs, Op op,
     m.charge_exchange(static_cast<unsigned>(k));
     m.charge_local(1);
     std::vector<T> incoming(regs);
-    for (std::size_t r = 0; r < n; ++r) {
+    parallel_for(n, [&](std::size_t r) {
       std::size_t partner = r ^ stride;
       // Order-respecting combine: the lower rank's block comes first.
       if (r & stride) {
@@ -55,7 +61,7 @@ void reduce(Machine& m, std::vector<T>& regs, Op op,
       } else {
         regs[r] = op(regs[r], incoming[partner]);
       }
-    }
+    }, kRegisterLoopGrain);
   }
 }
 
@@ -98,7 +104,7 @@ void prefix(Machine& m, std::vector<T>& regs, Op op, std::size_t width = 0) {
     m.charge_exchange(static_cast<unsigned>(k));
     m.charge_local(1);
     std::vector<T> incoming(total);
-    for (std::size_t r = 0; r < n; ++r) {
+    parallel_for(n, [&](std::size_t r) {
       std::size_t partner = r ^ stride;
       if (r & stride) {
         regs[r] = op(incoming[partner], regs[r]);
@@ -106,7 +112,7 @@ void prefix(Machine& m, std::vector<T>& regs, Op op, std::size_t width = 0) {
       } else {
         total[r] = op(total[r], incoming[partner]);
       }
-    }
+    }, kRegisterLoopGrain);
   }
 }
 
@@ -187,10 +193,10 @@ void shift_up(Machine& m, std::vector<T>& regs, std::size_t dist, T fill,
   m.charge_shift(dist);
   m.charge_local(1);
   std::vector<T> out(n, fill);
-  for (std::size_t r = 0; r < n; ++r) {
+  parallel_for(n, [&](std::size_t r) {
     std::size_t pos = r % width;
     if (pos + dist < width) out[r + dist] = regs[r];
-  }
+  }, kRegisterLoopGrain);
   regs.swap(out);
 }
 
@@ -206,10 +212,10 @@ void shift_down(Machine& m, std::vector<T>& regs, std::size_t dist, T fill,
   m.charge_shift(dist);
   m.charge_local(1);
   std::vector<T> out(n, fill);
-  for (std::size_t r = 0; r < n; ++r) {
+  parallel_for(n, [&](std::size_t r) {
     std::size_t pos = r % width;
     if (pos >= dist) out[r - dist] = regs[r];
-  }
+  }, kRegisterLoopGrain);
   regs.swap(out);
 }
 
@@ -240,12 +246,15 @@ void pack(Machine& m, std::vector<std::optional<T>>& regs,
   for (int k = 0; k < levels; ++k) m.charge_exchange(static_cast<unsigned>(k));
   m.charge_local(1);
   std::vector<std::optional<T>> out(n);
-  for (std::size_t r = 0; r < n; ++r) {
+  // Destinations block + dest[r] - 1 are pairwise distinct (dest is a
+  // strictly increasing prefix count at flagged ranks), so the writes are
+  // disjoint.
+  parallel_for(n, [&](std::size_t r) {
     if (regs[r].has_value()) {
       std::size_t block = r / width * width;
       out[block + dest[r] - 1] = std::move(regs[r]);
     }
-  }
+  }, kRegisterLoopGrain);
   regs.swap(out);
 }
 

@@ -37,14 +37,16 @@ void bitonic_stage(Machine& m, std::vector<T>& regs, unsigned k,
   std::size_t stride = std::size_t{1} << k;
   m.charge_exchange(k);
   m.charge_local(1);
-  for (std::size_t r = 0; r < n; ++r) {
+  // Compare-exchange pairs {r, r ^ stride} partition the ranks, and only the
+  // lower rank of each pair acts, so the iterations touch disjoint slots.
+  parallel_for(n, [&](std::size_t r) {
     std::size_t partner = r ^ stride;
-    if (partner <= r) continue;
+    if (partner <= r) return;
     bool ascending = (r & size_mask) == 0;
     bool out_of_order = ascending ? less(regs[partner], regs[r])
                                   : less(regs[r], regs[partner]);
     if (out_of_order) std::swap(regs[r], regs[partner]);
-  }
+  }, kRegisterLoopGrain);
 }
 
 // Bitonic sort of each aligned width-block, ascending in rank order.
@@ -193,14 +195,14 @@ void bitonic_sort_slotted(Machine& m, std::vector<T>& elems,
         m.charge_exchange(static_cast<unsigned>(floor_log2(stride / slots)));
         m.charge_local(1);
       }
-      for (std::size_t r = 0; r < total; ++r) {
+      parallel_for(total, [&](std::size_t r) {
         std::size_t partner = r ^ stride;
-        if (partner <= r) continue;
+        if (partner <= r) return;
         bool ascending = (r & mask) == 0;
         bool bad = ascending ? less(elems[partner], elems[r])
                              : less(elems[r], elems[partner]);
         if (bad) std::swap(elems[r], elems[partner]);
-      }
+      }, kRegisterLoopGrain);
     }
   }
 }

@@ -23,6 +23,10 @@
 //   --adaptive        adaptive (submesh) envelope
 //   --box <w,h,...>   rectangle dimensions for `contain`
 //   --file <path>     load the system from a dyncg-motion file
+//   --threads <int>   host threads for the simulator (0 = all hardware
+//                     threads; overrides DYNCG_THREADS; default 1).  Never
+//                     changes the reported rounds/messages/local_ops — see
+//                     docs/PARALLELISM.md.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +43,7 @@
 #include "pieces/envelope_serial.hpp"
 #include "steady/machine_geometry.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
@@ -63,7 +68,7 @@ struct Options {
                "usage: %s <neighbor|pairs|collisions|hullwhen|contain|steady|"
                "envelope|topo> [--n N] [--k K] [--d D] [--seed S] "
                "[--machine mesh|hypercube|ccc|shuffle] [--query Q] "
-               "[--farthest] [--adaptive] [--box w,h,...]\n",
+               "[--farthest] [--adaptive] [--box w,h,...] [--threads T]\n",
                argv0);
   std::exit(2);
 }
@@ -96,6 +101,18 @@ Options parse(int argc, char** argv) {
       o.adaptive = true;
     } else if (a == "--file") {
       o.file = next();
+    } else if (a == "--threads") {
+      const char* t = next();
+      char* end = nullptr;
+      long v = std::strtol(t, &end, 10);
+      if (end == t || *end != '\0' || v < 0) {
+        std::fprintf(stderr,
+                     "error: --threads expects a non-negative integer "
+                     "(0 = all hardware threads), got '%s'\n",
+                     t);
+        std::exit(2);
+      }
+      set_host_threads(static_cast<unsigned>(v));
     } else if (a == "--box") {
       std::string spec = next();
       std::size_t pos = 0;

@@ -9,16 +9,26 @@
 // log-log slope against the claimed growth law, and then registers the same
 // runs as google-benchmark cases (rounds exposed as counters, wall time
 // measuring the simulator itself).
+// Every table printed through print_table() is additionally recorded and,
+// at process exit, written as a versioned machine-readable report
+// BENCH_<name>.json (config, ledger figures, host timings, git rev) — the
+// perf trajectory consumed by docs/OBSERVABILITY.md's tooling.  Set
+// DYNCG_BENCH_JSON=<dir> to redirect the report, or =0 to disable.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <iterator>
 #include <string>
 #include <vector>
+
+#if defined(__GLIBC__)
+#include <errno.h>  // program_invocation_short_name
+#endif
 
 #if defined(DYNCG_HAVE_PARALLEL_SORT)
 #include <parallel/algorithm>
@@ -27,6 +37,7 @@
 #include "dyncg/motion.hpp"
 #include "machine/machine.hpp"
 #include "pieces/piecewise.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 
@@ -78,8 +89,146 @@ struct Row {
   std::string claimed;  // the paper's Theta(...)
 };
 
+// Schema version of the BENCH_<name>.json reports; bump on layout changes
+// and document them in docs/OBSERVABILITY.md.
+inline constexpr int kBenchJsonSchemaVersion = 1;
+
+// Process-wide recorder behind print_table(): collects every table and
+// writes BENCH_<name>.json at exit.
+class BenchReport {
+ public:
+  static BenchReport& instance() {
+    static BenchReport* r = new BenchReport;  // leaked; written via atexit
+    return *r;
+  }
+
+  void record(const std::string& title, const std::vector<Row>& rows) {
+    tables_.push_back(Table{title, rows});
+    if (!atexit_registered_) {
+      atexit_registered_ = true;
+      std::atexit([] { BenchReport::instance().write(); });
+    }
+  }
+
+  // Bench binary name with the "bench_" prefix stripped ("table1_ops").
+  static std::string bench_name() {
+#if defined(__GLIBC__)
+    std::string name = program_invocation_short_name;
+#else
+    std::string name = "bench";
+#endif
+    const std::string prefix = "bench_";
+    if (name.compare(0, prefix.size(), prefix) == 0) {
+      name = name.substr(prefix.size());
+    }
+    return name;
+  }
+
+  void write() {
+    if (written_ || tables_.empty()) return;
+    written_ = true;
+    std::string dir = ".";
+    if (const char* d = std::getenv("DYNCG_BENCH_JSON")) {
+      std::string v = d;
+      if (v == "0" || v == "off") return;
+      if (!v.empty()) dir = v;
+    }
+    const std::string path = dir + "/BENCH_" + bench_name() + ".json";
+
+    json::Writer w;
+    w.begin_object();
+    w.key("schema_version");
+    w.value(std::int64_t{kBenchJsonSchemaVersion});
+    w.key("kind");
+    w.value("dyncg-bench");
+    w.key("name");
+    w.value(bench_name());
+#if defined(DYNCG_GIT_REV)
+    w.key("git_rev");
+    w.value(DYNCG_GIT_REV);
+#else
+    w.key("git_rev");
+    w.value("unknown");
+#endif
+    w.key("config");
+    w.begin_object();
+    w.key("threads");
+    w.value(std::uint64_t{host_threads()});
+#if defined(DYNCG_HAVE_PARALLEL_SORT)
+    w.key("parallel_sort");
+    w.value(true);
+#else
+    w.key("parallel_sort");
+    w.value(false);
+#endif
+    w.end_object();
+    w.key("host_seconds");
+    w.value(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start_)
+                .count());
+    w.key("unix_time");
+    w.value(static_cast<std::int64_t>(std::chrono::duration_cast<std::chrono::seconds>(
+        std::chrono::system_clock::now().time_since_epoch()).count()));
+    w.key("tables");
+    w.begin_array();
+    for (const Table& t : tables_) {
+      w.begin_object();
+      w.key("title");
+      w.value(t.title);
+      w.key("rows");
+      w.begin_array();
+      for (const Row& r : t.rows) {
+        w.begin_object();
+        w.key("problem");
+        w.value(r.label);
+        w.key("claim");
+        w.value(r.claimed);
+        w.key("slope");
+        w.value(r.n.size() >= 2 ? loglog_slope(r.n, r.rounds) : 0.0);
+        w.key("points");
+        w.begin_array();
+        for (std::size_t i = 0; i < r.n.size(); ++i) {
+          w.begin_object();
+          w.key("n");
+          w.value(r.n[i]);
+          w.key("rounds");
+          w.value(r.rounds[i]);
+          w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fwrite(w.str().data(), 1, w.str().size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "dyncg bench: cannot write %s\n", path.c_str());
+    }
+  }
+
+ private:
+  struct Table {
+    std::string title;
+    std::vector<Row> rows;
+  };
+
+  std::vector<Table> tables_;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+  bool atexit_registered_ = false;
+  bool written_ = false;
+};
+
 inline void print_table(const std::string& title,
                         const std::vector<Row>& rows) {
+  BenchReport::instance().record(title, rows);
   std::printf("\n=== %s ===\n", title.c_str());
   std::printf("%-44s %-18s %-10s  measured rounds over n sweep\n", "problem",
               "paper claims", "slope");

@@ -7,6 +7,7 @@
 #include "ops/sorting.hpp"
 #include "support/assert.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace dyncg {
 namespace {
@@ -59,6 +60,7 @@ std::pair<std::size_t, std::size_t> PairSequence::pair_at(double t) const {
 
 PairSequence closest_pair_sequence(Machine& m, const MotionSystem& system,
                                    bool farthest, EnvelopeRunStats* stats) {
+  TRACE_SPAN_COST("dyncg.closest_pair_sequence", m.ledger());
   DYNCG_ASSERT(system.size() >= 2, "need at least two points");
   PairFamily pf = build_pair_family(system);
   // Load one pair per PE: a broadcast of the point descriptions plus one
@@ -86,6 +88,7 @@ PairSequence closest_pair_sequence(Machine& m, const MotionSystem& system,
 
 std::vector<AllCollisionEvent> all_collision_times(Machine& m,
                                                    const MotionSystem& system) {
+  TRACE_SPAN_COST("dyncg.all_collision_times", m.ledger());
   PairFamily pf = build_pair_family(system);
   const int k = std::max(1, system.motion_degree());
   std::size_t slots = ceil_pow2(static_cast<std::size_t>(k));

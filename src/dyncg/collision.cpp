@@ -6,6 +6,7 @@
 #include "ops/sorting.hpp"
 #include "poly/roots.hpp"
 #include "support/assert.hpp"
+#include "support/trace.hpp"
 
 namespace dyncg {
 
@@ -44,6 +45,7 @@ std::vector<double> pair_collision_times(const Trajectory& a,
 CollisionReport collision_times(Machine& m, const MotionSystem& system,
                                 std::size_t query,
                                 bool use_randomized_sort_model) {
+  TRACE_SPAN_COST("dyncg.collision_times", m.ledger());
   const std::size_t n = system.size();
   DYNCG_ASSERT(query < n, "query index out of range");
   DYNCG_ASSERT(m.size() >= n, "machine smaller than the system");

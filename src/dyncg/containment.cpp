@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/assert.hpp"
+#include "support/trace.hpp"
 
 namespace dyncg {
 namespace {
@@ -47,6 +48,7 @@ std::vector<PiecewisePoly> coordinate_spreads(Machine& m,
 
 IntervalSet containment_intervals(Machine& m, const MotionSystem& system,
                                   const std::vector<double>& dims) {
+  TRACE_SPAN_COST("dyncg.containment_intervals", m.ledger());
   DYNCG_ASSERT(dims.size() == system.dimension(),
                "one rectangle dimension per coordinate");
   const int k = std::max(1, system.motion_degree());
@@ -80,6 +82,7 @@ PiecewisePoly enclosing_cube_edge(Machine& m, const MotionSystem& system) {
 }
 
 SmallestCube smallest_enclosing_cube(Machine& m, const MotionSystem& system) {
+  TRACE_SPAN_COST("dyncg.smallest_enclosing_cube", m.ledger());
   PiecewisePoly edge = enclosing_cube_edge(m, system);
   // Corollary 4.8: each PE minimizes over its Theta(1) pieces locally, then
   // one semigroup reduction finds the global minimum.

@@ -5,6 +5,7 @@
 
 #include "poly/roots.hpp"
 #include "support/assert.hpp"
+#include "support/trace.hpp"
 
 namespace dyncg {
 
@@ -137,6 +138,7 @@ IntervalSet gap_indicator(Machine& m, const RelativeMotion& rel,
 
 IntervalSet hull_membership_intervals(Machine& m, const MotionSystem& system,
                                       std::size_t query) {
+  TRACE_SPAN_COST("dyncg.hull_membership", m.ledger());
   return hull_membership_breakdown(m, system, query).total;
 }
 

@@ -4,6 +4,7 @@
 
 #include "ops/basic.hpp"
 #include "support/assert.hpp"
+#include "support/trace.hpp"
 
 namespace dyncg {
 
@@ -28,6 +29,7 @@ std::size_t NeighborSequence::neighbor_at(double t) const {
 NeighborSequence neighbor_sequence(Machine& m, const MotionSystem& system,
                                    std::size_t query, bool farthest,
                                    EnvelopeRunStats* stats) {
+  TRACE_SPAN_COST("dyncg.neighbor_sequence", m.ledger());
   const std::size_t n = system.size();
   DYNCG_ASSERT(n >= 2, "need at least two points");
   DYNCG_ASSERT(query < n, "query index out of range");

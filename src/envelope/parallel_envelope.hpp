@@ -7,6 +7,7 @@
 #include "support/ackermann.hpp"
 #include "support/assert.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 // Parallel construction of the minimum (or maximum) function — the paper's
 // central algorithm (Section 3).
@@ -76,6 +77,7 @@ PiecewiseFn parallel_envelope(Machine& m, const Family& fam, int s_bound,
                               bool take_min = true,
                               EnvelopeRunStats* stats = nullptr,
                               bool adaptive = false) {
+  TRACE_SPAN_COST("envelope.parallel", m.ledger());
   const std::size_t P = m.size();
   const std::size_t n = fam.size();
   DYNCG_ASSERT(n >= 1, "envelope of an empty family");
@@ -100,6 +102,7 @@ PiecewiseFn parallel_envelope(Machine& m, const Family& fam, int s_bound,
   std::size_t eff_width = base_w;
   EnvelopeRunStats st;
   while (count > 1) {
+    TRACE_SPAN_COST("envelope.level", m.ledger());
     width *= 2;
     count /= 2;
     ++st.levels;

@@ -11,4 +11,11 @@ std::string CostSnapshot::to_string() const {
   return os.str();
 }
 
+std::string CostSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"rounds\":" << rounds << ",\"messages\":" << messages
+     << ",\"local_ops\":" << local_ops << ",\"time\":" << time() << "}";
+  return os.str();
+}
+
 }  // namespace dyncg

@@ -28,8 +28,27 @@ struct CostSnapshot {
     return CostSnapshot{rounds - o.rounds, messages - o.messages,
                         local_ops - o.local_ops};
   }
+  CostSnapshot& operator+=(const CostSnapshot& o) {
+    rounds += o.rounds;
+    messages += o.messages;
+    local_ops += o.local_ops;
+    return *this;
+  }
+  CostSnapshot operator+(const CostSnapshot& o) const {
+    CostSnapshot s = *this;
+    s += o;
+    return s;
+  }
+  bool operator==(const CostSnapshot& o) const {
+    return rounds == o.rounds && messages == o.messages &&
+           local_ops == o.local_ops;
+  }
+  bool operator!=(const CostSnapshot& o) const { return !(*this == o); }
 
   std::string to_string() const;
+  // {"rounds":R,"messages":M,"local_ops":L,"time":T} — the fragment every
+  // exporter (trace events, telemetry, bench reports) embeds.
+  std::string to_json() const;
 };
 
 class CostLedger {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "machine/cost.hpp"
+#include "machine/telemetry.hpp"
 #include "machine/topology.hpp"
 #include "support/assert.hpp"
 
@@ -41,6 +42,15 @@ class Fabric {
   const Topology& topology() const { return topo_; }
   std::uint64_t rounds() const { return rounds_; }
 
+  // Attach per-link utilisation / congestion counters (pass nullptr to
+  // detach).  The telemetry's link counters are (re)sized to this fabric's
+  // directed-link count; indices follow the CSR layout below.
+  void set_telemetry(FabricTelemetry* t) {
+    telemetry_ = t;
+    if (t != nullptr) t->reset(link_to_.size());
+  }
+  std::size_t directed_links() const { return link_to_.size(); }
+
   // Stage a word from node `from` to adjacent node `to` for this round.
   void send(std::size_t from, std::size_t to, Msg m) {
     auto first = link_to_.begin() + static_cast<std::ptrdiff_t>(link_off_[from]);
@@ -54,6 +64,10 @@ class Fabric {
     DYNCG_ASSERT(stamp != rounds_ + 1, "link capacity exceeded (one word per "
                                        "directed link per round)");
     stamp = rounds_ + 1;
+    if (telemetry_ != nullptr) {
+      telemetry_->record_send(
+          static_cast<std::size_t>(it - link_to_.begin()));
+    }
     staged_[from].emplace_back(to, std::move(m));
   }
 
@@ -69,6 +83,7 @@ class Fabric {
       staged_[v].clear();
     }
     ++rounds_;
+    if (telemetry_ != nullptr) telemetry_->record_round(moved);
     if (ledger_ != nullptr) {
       ledger_->add_rounds(1);
       ledger_->add_messages(moved);
@@ -80,6 +95,7 @@ class Fabric {
  private:
   const Topology& topo_;
   CostLedger* ledger_;
+  FabricTelemetry* telemetry_ = nullptr;
   std::uint64_t rounds_ = 0;
   std::vector<std::vector<Msg>> inbox_;
   std::vector<std::vector<std::pair<std::size_t, Msg>>> staged_;

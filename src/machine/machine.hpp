@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "machine/cost.hpp"
+#include "machine/telemetry.hpp"
 #include "machine/topology.hpp"
 
 // Layer B: the machine the algorithm library runs on.
@@ -25,6 +26,12 @@ class Machine {
 
   CostLedger& ledger() { return ledger_; }
   const CostLedger& ledger() const { return ledger_; }
+
+  // Observability aggregate: per-phase stats (fed by MachineProfile scopes)
+  // and fabric link/congestion counters (attach the fabric() member to a
+  // Fabric when replaying hop by hop).  See docs/OBSERVABILITY.md.
+  MachineTelemetry& telemetry() { return telemetry_; }
+  const MachineTelemetry& telemetry() const { return telemetry_; }
 
   // Pattern charges.  Width-limited variants charge the same price as the
   // full-machine pattern: disjoint strings operate in parallel, so the cost
@@ -53,6 +60,7 @@ class Machine {
  private:
   std::shared_ptr<const Topology> topo_;
   CostLedger ledger_;
+  MachineTelemetry telemetry_;
 };
 
 }  // namespace dyncg

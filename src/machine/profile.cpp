@@ -6,11 +6,12 @@ namespace dyncg {
 
 void MachineProfile::add(const std::string& label, CostSnapshot delta,
                          double wall_seconds) {
+  // Phase scopes also feed the machine-wide telemetry aggregate, which
+  // accumulates across profiles and is what Machine::telemetry() exports.
+  machine_.telemetry().record_phase(label, delta, wall_seconds);
   for (Entry& e : entries_) {
     if (e.label == label) {
-      e.cost.rounds += delta.rounds;
-      e.cost.messages += delta.messages;
-      e.cost.local_ops += delta.local_ops;
+      e.cost += delta;
       e.wall_seconds += wall_seconds;
       return;
     }
@@ -20,32 +21,35 @@ void MachineProfile::add(const std::string& label, CostSnapshot delta,
 
 CostSnapshot MachineProfile::total() const {
   CostSnapshot t;
-  for (const Entry& e : entries_) {
-    t.rounds += e.cost.rounds;
-    t.messages += e.cost.messages;
-    t.local_ops += e.cost.local_ops;
-  }
+  for (const Entry& e : entries_) t += e.cost;
   return t;
 }
 
 std::string MachineProfile::report() const {
   CostSnapshot t = total();
   std::ostringstream os;
-  os << "phase breakdown (" << t.rounds << " rounds total):\n";
+  os << "phase breakdown (" << t.rounds << " rounds, " << t.messages
+     << " messages total):\n";
   for (const Entry& e : entries_) {
     double share = t.rounds == 0
                        ? 0.0
                        : 100.0 * static_cast<double>(e.cost.rounds) /
                              static_cast<double>(t.rounds);
-    char buf[192];
+    char buf[224];
     std::snprintf(buf, sizeof(buf),
-                  "  %-32s %10llu rounds  %5.1f%%  (%llu local)  %8.2f ms host\n",
+                  "  %-32s %10llu rounds  %5.1f%%  %12llu msgs  (%llu local)"
+                  "  %8.2f ms host\n",
                   e.label.c_str(),
                   static_cast<unsigned long long>(e.cost.rounds), share,
+                  static_cast<unsigned long long>(e.cost.messages),
                   static_cast<unsigned long long>(e.cost.local_ops),
                   e.wall_seconds * 1e3);
     os << buf;
   }
+  // Layer A congestion view, present when a Fabric ran with the machine's
+  // telemetry attached.
+  const FabricTelemetry& fab = machine_.telemetry().fabric();
+  if (fab.rounds > 0) os << fab.report();
   return os.str();
 }
 

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/cost.hpp"
+
+// Machine-level observability: fabric link utilisation and per-phase cost
+// aggregation.
+//
+// The ledger answers "how much", the profiler answers "which phase"; this
+// module makes both exportable and adds the Layer A view: which physical
+// links a hop-by-hop replay actually loaded, and how congested the rounds
+// were.  Everything here is plain counters — no locking, no global state —
+// so a FabricTelemetry can be attached to any Fabric (they are per-machine
+// objects, driven from one thread) and a MachineTelemetry rides inside each
+// Machine.  See docs/OBSERVABILITY.md for the JSON schemas.
+namespace dyncg {
+
+// Counters for one Fabric run (Layer A, hop-by-hop).  Attach with
+// Fabric::set_telemetry(&machine.telemetry().fabric()); every send() bumps
+// the directed link's counter and every deliver() records the round's
+// in-flight load.
+struct FabricTelemetry {
+  std::uint64_t rounds = 0;         // deliver() calls observed
+  std::uint64_t messages = 0;       // total words moved
+  std::uint64_t max_in_flight = 0;  // max words delivered in one round
+  // Per-directed-link word counts, indexed by the fabric's CSR link index
+  // (sorted neighbors per node, nodes ascending).
+  std::vector<std::uint64_t> link_messages;
+  // Congestion histogram over rounds: bucket 0 counts empty rounds, bucket
+  // b >= 1 counts rounds that moved m words with floor(log2(m)) == b - 1
+  // (i.e. m in [2^(b-1), 2^b)).
+  std::vector<std::uint64_t> round_histogram;
+
+  void reset(std::size_t links) {
+    *this = FabricTelemetry{};
+    link_messages.assign(links, 0);
+  }
+
+  // Record paths, called by Fabric.
+  void record_send(std::size_t link) {
+    if (link < link_messages.size()) ++link_messages[link];
+  }
+  void record_round(std::uint64_t moved) {
+    ++rounds;
+    messages += moved;
+    if (moved > max_in_flight) max_in_flight = moved;
+    std::size_t bucket = 0;
+    while ((std::uint64_t{1} << bucket) <= moved) ++bucket;  // 0 -> 0, m -> floor(log2 m)+1
+    if (round_histogram.size() <= bucket) round_histogram.resize(bucket + 1, 0);
+    ++round_histogram[bucket];
+  }
+
+  std::uint64_t busiest_link() const;        // index of the max-count link
+  std::uint64_t max_link_messages() const;   // its count (0 when unused)
+  double mean_link_messages() const;         // over all links
+
+  // Human-readable congestion summary (one line per histogram bucket).
+  std::string report() const;
+  std::string to_json() const;
+};
+
+// Per-machine aggregate: named phase stats (fed by MachineProfile scopes)
+// plus the fabric counters.  Accessed via Machine::telemetry().
+class MachineTelemetry {
+ public:
+  struct PhaseStat {
+    std::string label;
+    CostSnapshot cost;
+    double wall_seconds = 0.0;
+    std::uint64_t calls = 0;
+  };
+
+  // Accumulate one phase scope (same label aggregates).
+  void record_phase(const std::string& label, const CostSnapshot& delta,
+                    double wall_seconds);
+
+  const std::vector<PhaseStat>& phases() const { return phases_; }
+  FabricTelemetry& fabric() { return fabric_; }
+  const FabricTelemetry& fabric() const { return fabric_; }
+
+  std::string to_json() const;
+
+ private:
+  std::vector<PhaseStat> phases_;
+  FabricTelemetry fabric_;
+};
+
+}  // namespace dyncg

@@ -8,6 +8,7 @@
 #include "support/ackermann.hpp"
 #include "support/assert.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 // Fundamental data movement operations (Section 2.6, Table 1), part 1:
 // semigroup computation, broadcast, parallel prefix (plain and segmented),
@@ -43,6 +44,7 @@ inline void check_block(std::size_t n, std::size_t width) {
 template <class T, class Op>
 void reduce(Machine& m, std::vector<T>& regs, Op op,
             std::size_t width = 0) {
+  TRACE_SPAN_COST("ops.reduce", m.ledger());
   std::size_t n = m.size();
   if (width == 0) width = n;
   check_block(n, width);
@@ -70,6 +72,7 @@ void reduce(Machine& m, std::vector<T>& regs, Op op,
 template <class T>
 void broadcast(Machine& m, std::vector<T>& regs, std::size_t src,
                std::size_t width = 0) {
+  TRACE_SPAN_COST("ops.broadcast", m.ledger());
   std::size_t n = m.size();
   if (width == 0) width = n;
   check_block(n, width);
@@ -94,6 +97,7 @@ void broadcast(Machine& m, std::vector<T>& regs, std::size_t src,
 // half folds the lower half's total into its prefix.
 template <class T, class Op>
 void prefix(Machine& m, std::vector<T>& regs, Op op, std::size_t width = 0) {
+  TRACE_SPAN_COST("ops.prefix", m.ledger());
   std::size_t n = m.size();
   if (width == 0) width = n;
   check_block(n, width);
@@ -124,6 +128,7 @@ template <class T, class Op>
 void segmented_prefix(Machine& m, std::vector<T>& regs,
                       const std::vector<char>& seg_start, Op op,
                       std::size_t width = 0) {
+  TRACE_SPAN_COST("ops.segmented_prefix", m.ledger());
   std::size_t n = m.size();
   struct FV {
     char flag;
@@ -149,6 +154,7 @@ void segmented_prefix(Machine& m, std::vector<T>& regs,
 template <class T, class Op>
 void segmented_reduce(Machine& m, std::vector<T>& regs,
                       const std::vector<char>& seg_start, Op op) {
+  TRACE_SPAN_COST("ops.segmented_reduce", m.ledger());
   std::size_t n = m.size();
   DYNCG_ASSERT(regs.size() == n && seg_start.size() == n,
                "register file size mismatch");
@@ -185,6 +191,7 @@ void segmented_reduce(Machine& m, std::vector<T>& regs,
 template <class T>
 void shift_up(Machine& m, std::vector<T>& regs, std::size_t dist, T fill,
               std::size_t width = 0) {
+  TRACE_SPAN_COST("ops.shift_up", m.ledger());
   std::size_t n = m.size();
   if (width == 0) width = n;
   check_block(n, width);
@@ -204,6 +211,7 @@ void shift_up(Machine& m, std::vector<T>& regs, std::size_t dist, T fill,
 template <class T>
 void shift_down(Machine& m, std::vector<T>& regs, std::size_t dist, T fill,
                 std::size_t width = 0) {
+  TRACE_SPAN_COST("ops.shift_down", m.ledger());
   std::size_t n = m.size();
   if (width == 0) width = n;
   check_block(n, width);
@@ -229,6 +237,7 @@ template <class T>
 void pack(Machine& m, std::vector<std::optional<T>>& regs,
           std::vector<std::size_t>* counts = nullptr,
           std::size_t width = 0) {
+  TRACE_SPAN_COST("ops.pack", m.ledger());
   std::size_t n = m.size();
   if (width == 0) width = n;
   check_block(n, width);

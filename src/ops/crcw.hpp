@@ -92,6 +92,7 @@ template <class Key, class Value>
 std::vector<std::optional<Value>> concurrent_read(
     Machine& m, const std::vector<std::optional<std::pair<Key, Value>>>& data,
     const std::vector<std::optional<Key>>& queries, bool exact_match = true) {
+  TRACE_SPAN_COST("ops.concurrent_read", m.ledger());
   std::size_t n = m.size();
   DYNCG_ASSERT(data.size() == n && queries.size() == n,
                "register file size mismatch");
@@ -171,6 +172,7 @@ std::vector<std::optional<Value>> concurrent_write(
     Machine& m,
     const std::vector<std::optional<std::pair<Key, Value>>>& requests,
     const std::vector<std::optional<Key>>& owners, Op op) {
+  TRACE_SPAN_COST("ops.concurrent_write", m.ledger());
   std::size_t n = m.size();
   struct Rec {
     bool live = false;
@@ -251,6 +253,7 @@ std::vector<std::optional<Value>> concurrent_write(
 template <class T>
 void route(Machine& m, std::vector<std::optional<T>>& regs,
            const std::vector<std::size_t>& dest) {
+  TRACE_SPAN_COST("ops.route", m.ledger());
   std::size_t n = m.size();
   struct Slot {
     bool live = false;

@@ -6,6 +6,7 @@
 
 #include "machine/machine.hpp"
 #include "ops/basic.hpp"
+#include "support/trace.hpp"
 #include "support/ackermann.hpp"
 #include "support/assert.hpp"
 
@@ -53,6 +54,7 @@ void bitonic_stage(Machine& m, std::vector<T>& regs, unsigned k,
 template <class T, class Less = std::less<T>>
 void bitonic_sort(Machine& m, std::vector<T>& regs, Less less = Less{},
                   std::size_t width = 0) {
+  TRACE_SPAN_COST("ops.bitonic_sort", m.ledger());
   std::size_t n = m.size();
   if (width == 0) width = n;
   check_block(n, width);
@@ -75,6 +77,7 @@ void bitonic_sort(Machine& m, std::vector<T>& regs, Less less = Less{},
 template <class T, class Less = std::less<T>>
 void bitonic_merge(Machine& m, std::vector<T>& regs, Less less = Less{},
                    std::size_t width = 0) {
+  TRACE_SPAN_COST("ops.bitonic_merge", m.ledger());
   std::size_t n = m.size();
   if (width == 0) width = n;
   check_block(n, width);
@@ -104,6 +107,7 @@ void bitonic_merge(Machine& m, std::vector<T>& regs, Less less = Less{},
 template <class T, class Less = std::less<T>>
 void odd_even_transposition_sort(Machine& m, std::vector<T>& regs,
                                  Less less = Less{}, std::size_t width = 0) {
+  TRACE_SPAN_COST("ops.odd_even_sort", m.ledger());
   std::size_t n = m.size();
   if (width == 0) width = n;
   check_block(n, width);
@@ -125,6 +129,7 @@ void odd_even_transposition_sort(Machine& m, std::vector<T>& regs,
 // expectation.  Requires a MeshTopology machine.
 template <class T, class Less = std::less<T>>
 void shearsort(Machine& m, std::vector<T>& regs, Less less = Less{}) {
+  TRACE_SPAN_COST("ops.shearsort", m.ledger());
   const auto* mesh = dynamic_cast<const MeshTopology*>(&m.topology());
   DYNCG_ASSERT(mesh != nullptr, "shearsort requires a mesh");
   std::size_t side = mesh->side();
@@ -182,6 +187,7 @@ void shearsort(Machine& m, std::vector<T>& regs, Less less = Less{}) {
 template <class T, class Less = std::less<T>>
 void bitonic_sort_slotted(Machine& m, std::vector<T>& elems,
                           std::size_t slots, Less less = Less{}) {
+  TRACE_SPAN_COST("ops.bitonic_sort_slotted", m.ledger());
   std::size_t total = elems.size();
   DYNCG_ASSERT(slots >= 1 && (slots & (slots - 1)) == 0,
                "slots must be a power of two");
@@ -217,6 +223,7 @@ inline constexpr unsigned kFlashsortConstant = 8;
 template <class T, class Less = std::less<T>>
 void randomized_sort_model(Machine& m, std::vector<T>& regs,
                            Less less = Less{}, std::size_t width = 0) {
+  TRACE_SPAN_COST("ops.randomized_sort_model", m.ledger());
   std::size_t n = m.size();
   if (width == 0) width = n;
   check_block(n, width);

@@ -4,11 +4,13 @@
 
 #include "dyncg/proximity.hpp"
 #include "steady/dual_hull.hpp"
+#include "support/trace.hpp"
 
 namespace dyncg {
 
 std::vector<std::size_t> machine_hull_ids(Machine& m,
                                           std::vector<Point2<double>> pts) {
+  TRACE_SPAN_COST("steady.hull_ids", m.ledger());
   const std::size_t n = pts.size();
   const std::size_t P = m.size();
   DYNCG_ASSERT(n >= 1 && n <= P, "need 1 <= n <= P points");
@@ -91,6 +93,7 @@ std::vector<std::size_t> machine_hull_ids(Machine& m,
 
 std::size_t machine_steady_neighbor(Machine& m, const MotionSystem& system,
                                     std::size_t query, bool farthest) {
+  TRACE_SPAN_COST("steady.neighbor", m.ledger());
   const std::size_t n = system.size();
   DYNCG_ASSERT(n >= 2 && n <= m.size(), "need 2 <= n <= P points");
   // Broadcast f_query, build d^2 germs locally, one semigroup reduction
@@ -205,6 +208,7 @@ ClosestPairResult<AsymptoticPoly> machine_steady_closest_pair(
 
 std::vector<std::size_t> machine_steady_hull_ids(Machine& m,
                                                  const MotionSystem& system) {
+  TRACE_SPAN_COST("steady.hull", m.ledger());
   // The dual-envelope hull over the rational-germ field: Theta(sort)-grade
   // rounds, matching the Table 3 hull row (see steady/dual_hull.hpp).
   std::vector<Point2<RationalGerm>> hull =
@@ -246,6 +250,7 @@ ClosestPairResult<AsymptoticPoly> machine_steady_farthest_pair(
 
 SteadyRectangle machine_steady_min_rectangle(Machine& m,
                                              const MotionSystem& system) {
+  TRACE_SPAN_COST("steady.min_rectangle", m.ledger());
   std::vector<Point2<RationalGerm>> hull =
       machine_hull_dual(m, germ_field_points(system));
   EnclosingRectangle<RationalGerm> rect = machine_min_rectangle(m, hull);

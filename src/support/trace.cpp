@@ -1,0 +1,264 @@
+#include "support/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "support/json.hpp"
+
+namespace dyncg {
+namespace trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+std::uint64_t now_ns() {
+  // Epoch = first call (process start, effectively): keeps timestamps small
+  // and makes spans from one run directly comparable.
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+struct ThreadBuffer {
+  std::vector<Event> events;
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;
+};
+
+// Registry of per-thread buffers.  The mutex guards the registry structure;
+// the owning thread appends to its buffer without locking (see the
+// collection contract in the header).  Buffers are intentionally never
+// freed: a thread that exits (e.g. the pool is resized) leaves its events
+// collectable, and the leak is bounded by the number of threads ever
+// created.
+struct Registry {
+  std::mutex mu;
+  std::vector<ThreadBuffer*> buffers;
+  std::uint32_t next_tid = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: threads may outlive statics
+  return *r;
+}
+
+ThreadBuffer& buffer() {
+  thread_local ThreadBuffer* buf = [] {
+    auto* b = new ThreadBuffer;
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    b->tid = r.next_tid++;
+    r.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+// DYNCG_TRACE env activation: enable at startup; when the value is a path
+// (anything but "1"), write it at process exit.
+struct EnvActivation {
+  std::string path;
+  static EnvActivation& instance() {
+    // Leaked: the atexit hook below runs after function-local statics are
+    // destroyed (their destructors register later, so they run first), and
+    // it must still be able to read `path`.
+    static EnvActivation* a = new EnvActivation;
+    return *a;
+  }
+
+ private:
+  EnvActivation() {
+    const char* s = std::getenv("DYNCG_TRACE");
+    if (s == nullptr || *s == '\0' || std::string(s) == "0") return;
+    now_ns();  // pin the trace epoch
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+    if (std::string(s) != "1") path = s;
+    std::atexit([] {
+      const std::string& p = EnvActivation::instance().path;
+      if (p.empty()) return;
+      if (!write(p)) {
+        std::fprintf(stderr, "dyncg: failed to write DYNCG_TRACE file '%s'\n",
+                     p.c_str());
+      }
+    });
+  }
+};
+
+// Run the env hook before main() so spans are captured from the start.
+[[maybe_unused]] const bool g_env_probe = (EnvActivation::instance(), true);
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t open_span() {
+  ThreadBuffer& b = buffer();
+  ++b.depth;
+  return now_ns();
+}
+
+void close_span(const char* name, std::uint64_t start_ns,
+                const CostSnapshot& cost) {
+  std::uint64_t end = now_ns();
+  ThreadBuffer& b = buffer();
+  if (b.depth > 0) --b.depth;
+  Event e;
+  e.name = name;
+  e.tid = b.tid;
+  e.depth = b.depth;
+  e.start_ns = start_ns;
+  e.dur_ns = end - start_ns;
+  e.cost = cost;
+  b.events.push_back(std::move(e));
+}
+
+}  // namespace detail
+
+void enable() {
+  EnvActivation::instance();  // keep env/programmatic activation consistent
+  detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable() { detail::g_enabled.store(false, std::memory_order_relaxed); }
+
+std::size_t event_count() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::size_t n = 0;
+  for (const ThreadBuffer* b : r.buffers) n += b->events.size();
+  return n;
+}
+
+std::vector<Event> snapshot() {
+  Registry& r = registry();
+  std::vector<Event> all;
+  {
+    std::lock_guard<std::mutex> lk(r.mu);
+    for (const ThreadBuffer* b : r.buffers) {
+      all.insert(all.end(), b->events.begin(), b->events.end());
+    }
+  }
+  std::stable_sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.depth < b.depth;  // outer spans before inner on a tie
+  });
+  return all;
+}
+
+void clear() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  for (ThreadBuffer* b : r.buffers) b->events.clear();
+}
+
+namespace {
+
+void append_cost_args(json::Writer& w, const Event& e) {
+  w.key("rounds");
+  w.value(e.cost.rounds);
+  w.key("messages");
+  w.value(e.cost.messages);
+  w.key("local_ops");
+  w.value(e.cost.local_ops);
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  int rc = std::fclose(f);
+  return n == content.size() && rc == 0;
+}
+
+}  // namespace
+
+bool write_chrome_trace(const std::string& path) {
+  std::vector<Event> events = snapshot();
+  json::Writer w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const Event& e : events) {
+    w.begin_object();
+    w.key("name");
+    w.value(e.name);
+    w.key("cat");
+    w.value("dyncg");
+    w.key("ph");
+    w.value("X");
+    // trace_event timestamps are microseconds.
+    w.key("ts");
+    w.value(static_cast<double>(e.start_ns) / 1e3);
+    w.key("dur");
+    w.value(static_cast<double>(e.dur_ns) / 1e3);
+    w.key("pid");
+    w.value(std::uint64_t{1});
+    w.key("tid");
+    w.value(std::uint64_t{e.tid});
+    w.key("args");
+    w.begin_object();
+    append_cost_args(w, e);
+    w.key("depth");
+    w.value(std::uint64_t{e.depth});
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.key("otherData");
+  w.begin_object();
+  w.key("schema_version");
+  w.value(std::uint64_t{1});
+  w.key("producer");
+  w.value("dyncg");
+  w.end_object();
+  w.end_object();
+  return write_file(path, w.str() + "\n");
+}
+
+bool write_jsonl(const std::string& path) {
+  std::vector<Event> events = snapshot();
+  std::string out;
+  for (const Event& e : events) {
+    json::Writer w;
+    w.begin_object();
+    w.key("name");
+    w.value(e.name);
+    w.key("tid");
+    w.value(std::uint64_t{e.tid});
+    w.key("depth");
+    w.value(std::uint64_t{e.depth});
+    w.key("start_us");
+    w.value(static_cast<double>(e.start_ns) / 1e3);
+    w.key("dur_us");
+    w.value(static_cast<double>(e.dur_ns) / 1e3);
+    append_cost_args(w, e);
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  return write_file(path, out);
+}
+
+bool write(const std::string& path) {
+  const std::string suffix = ".jsonl";
+  if (path.size() >= suffix.size() &&
+      path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    return write_jsonl(path);
+  }
+  return write_chrome_trace(path);
+}
+
+}  // namespace trace
+}  // namespace dyncg

@@ -27,6 +27,15 @@
 //                     threads; overrides DYNCG_THREADS; default 1).  Never
 //                     changes the reported rounds/messages/local_ops — see
 //                     docs/PARALLELISM.md.
+//   --trace-out <file>  record a span trace of the run and write it to
+//                     <file> on exit: Chrome trace_event JSON (load in
+//                     chrome://tracing or ui.perfetto.dev), or a flat JSONL
+//                     metrics stream when <file> ends in ".jsonl".  Also
+//                     accepts --trace-out=<file>.  The DYNCG_TRACE env var
+//                     does the same without a flag (docs/OBSERVABILITY.md).
+//
+// Unknown flags and malformed values exit 2 with a usage message.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +53,7 @@
 #include "steady/machine_geometry.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -61,6 +71,7 @@ struct Options {
   bool adaptive = false;
   std::vector<double> box;
   std::string file;  // load the system from a dyncg-motion file instead
+  std::string trace_out;  // write a span trace here on exit
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -68,61 +79,118 @@ struct Options {
                "usage: %s <neighbor|pairs|collisions|hullwhen|contain|steady|"
                "envelope|topo> [--n N] [--k K] [--d D] [--seed S] "
                "[--machine mesh|hypercube|ccc|shuffle] [--query Q] "
-               "[--farthest] [--adaptive] [--box w,h,...] [--threads T]\n",
+               "[--farthest] [--adaptive] [--box w,h,...] [--threads T] "
+               "[--trace-out FILE]\n",
                argv0);
   std::exit(2);
+}
+
+[[noreturn]] void flag_error(const char* argv0, const std::string& flag,
+                             const std::string& what,
+                             const std::string& got) {
+  std::fprintf(stderr, "error: %s expects %s, got '%s'\n", flag.c_str(),
+               what.c_str(), got.c_str());
+  usage(argv0);
+}
+
+// Strict numeric parsing: the whole token must be a number in range.  A
+// typo like `--n 1O24` or `--k ""` is a hard error, never a silent zero.
+long parse_long(const char* argv0, const std::string& flag, const char* tok,
+                long min_value, long max_value) {
+  char* end = nullptr;
+  errno = 0;
+  long v = std::strtol(tok, &end, 10);
+  if (end == tok || *end != '\0' || errno == ERANGE || v < min_value ||
+      v > max_value) {
+    flag_error(argv0, flag, "an integer in [" + std::to_string(min_value) +
+                                ", " + std::to_string(max_value) + "]",
+               tok);
+  }
+  return v;
+}
+
+double parse_double(const char* argv0, const std::string& flag,
+                    const std::string& tok) {
+  char* end = nullptr;
+  double v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0') {
+    flag_error(argv0, flag, "a number", tok);
+  }
+  return v;
 }
 
 Options parse(int argc, char** argv) {
   if (argc < 2) usage(argv[0]);
   Options o;
   o.command = argv[1];
+  constexpr long kMaxSize = 1L << 40;
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) usage(argv[0]);
+    // --flag=value is accepted everywhere a value flag is.
+    std::string inline_value;
+    bool has_inline = false;
+    if (std::size_t eq = a.find('='); eq != std::string::npos) {
+      inline_value = a.substr(eq + 1);
+      a = a.substr(0, eq);
+      has_inline = true;
+    }
+    auto next = [&]() -> std::string {
+      if (has_inline) return inline_value;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", a.c_str());
+        usage(argv[0]);
+      }
       return argv[++i];
     };
     if (a == "--n") {
-      o.n = static_cast<std::size_t>(std::atol(next()));
+      o.n = static_cast<std::size_t>(
+          parse_long(argv[0], a, next().c_str(), 1, kMaxSize));
     } else if (a == "--k") {
-      o.k = std::atoi(next());
+      o.k = static_cast<int>(parse_long(argv[0], a, next().c_str(), 0, 64));
     } else if (a == "--d") {
-      o.d = static_cast<std::size_t>(std::atol(next()));
+      o.d = static_cast<std::size_t>(
+          parse_long(argv[0], a, next().c_str(), 1, 64));
     } else if (a == "--seed") {
-      o.seed = static_cast<std::uint64_t>(std::atoll(next()));
+      o.seed = static_cast<std::uint64_t>(
+          parse_long(argv[0], a, next().c_str(), 0, kMaxSize));
     } else if (a == "--machine") {
       o.machine = next();
+      if (o.machine != "mesh" && o.machine != "hypercube" &&
+          o.machine != "ccc" && o.machine != "shuffle") {
+        flag_error(argv[0], a, "mesh|hypercube|ccc|shuffle", o.machine);
+      }
     } else if (a == "--query") {
-      o.query = static_cast<std::size_t>(std::atol(next()));
+      o.query = static_cast<std::size_t>(
+          parse_long(argv[0], a, next().c_str(), 0, kMaxSize));
     } else if (a == "--farthest") {
       o.farthest = true;
     } else if (a == "--adaptive") {
       o.adaptive = true;
     } else if (a == "--file") {
       o.file = next();
+      if (o.file.empty()) flag_error(argv[0], a, "a path", "");
+    } else if (a == "--trace-out") {
+      o.trace_out = next();
+      if (o.trace_out.empty()) flag_error(argv[0], a, "a path", "");
     } else if (a == "--threads") {
-      const char* t = next();
-      char* end = nullptr;
-      long v = std::strtol(t, &end, 10);
-      if (end == t || *end != '\0' || v < 0) {
-        std::fprintf(stderr,
-                     "error: --threads expects a non-negative integer "
-                     "(0 = all hardware threads), got '%s'\n",
-                     t);
-        std::exit(2);
-      }
+      std::string t = next();
+      long v = parse_long(argv[0], a, t.c_str(), 0, 1024);
       set_host_threads(static_cast<unsigned>(v));
     } else if (a == "--box") {
       std::string spec = next();
+      if (spec.empty()) flag_error(argv[0], a, "w,h,...", "");
       std::size_t pos = 0;
-      while (pos < spec.size()) {
-        o.box.push_back(std::atof(spec.c_str() + pos));
-        pos = spec.find(',', pos);
-        if (pos == std::string::npos) break;
-        ++pos;
+      while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        std::size_t len =
+            (comma == std::string::npos ? spec.size() : comma) - pos;
+        o.box.push_back(
+            parse_double(argv[0], a, spec.substr(pos, len)));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
       }
     } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", a.c_str());
       usage(argv[0]);
     }
   }
@@ -270,8 +338,7 @@ int cmd_topo(const Options& o) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  Options o = parse(argc, argv);
+int run_command(const Options& o, const char* argv0) {
   if (o.command == "neighbor") return cmd_neighbor(o);
   if (o.command == "pairs") return cmd_pairs(o);
   if (o.command == "collisions") return cmd_collisions(o);
@@ -280,5 +347,22 @@ int main(int argc, char** argv) {
   if (o.command == "steady") return cmd_steady(o);
   if (o.command == "envelope") return cmd_envelope(o);
   if (o.command == "topo") return cmd_topo(o);
-  usage(argv[0]);
+  std::fprintf(stderr, "error: unknown command '%s'\n", o.command.c_str());
+  usage(argv0);
+}
+
+int main(int argc, char** argv) {
+  Options o = parse(argc, argv);
+  if (!o.trace_out.empty()) trace::enable();
+  int rc = run_command(o, argv[0]);
+  if (!o.trace_out.empty()) {
+    if (!trace::write(o.trace_out)) {
+      std::fprintf(stderr, "error: cannot write trace file '%s'\n",
+                   o.trace_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace: %zu spans -> %s\n", trace::event_count(),
+                 o.trace_out.c_str());
+  }
+  return rc;
 }

@@ -1,0 +1,214 @@
+// dyncg_json_check — schema validator for the observability outputs.
+//
+//   dyncg_json_check --trace FILE   Chrome trace_event JSON (dyncg_cli
+//                                   --trace-out / DYNCG_TRACE)
+//   dyncg_json_check --jsonl FILE   flat JSONL span metrics stream
+//   dyncg_json_check --bench FILE   BENCH_<name>.json bench report
+//
+// Exit 0 when the file parses and carries every required field with the
+// right type; exit 1 with a diagnostic otherwise.  Used by the ctest
+// fixtures (tools/CMakeLists.txt, bench/CMakeLists.txt) so a schema
+// regression fails the default test target; the schemas themselves are
+// documented in docs/OBSERVABILITY.md.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace {
+
+using dyncg::json::Value;
+
+bool g_ok = true;
+const char* g_file = "";
+
+void fail(const std::string& msg) {
+  std::fprintf(stderr, "%s: %s\n", g_file, msg.c_str());
+  g_ok = false;
+}
+
+// Require obj[key] with the given type; returns nullptr on failure.
+const Value* require(const Value& obj, const std::string& key,
+                     Value::Type type, const std::string& where) {
+  const Value* v = obj.find(key);
+  if (v == nullptr) {
+    fail(where + ": missing key \"" + key + "\"");
+    return nullptr;
+  }
+  if (v->type != type) {
+    fail(where + ": key \"" + key + "\" has the wrong type");
+    return nullptr;
+  }
+  return v;
+}
+
+void check_cost_args(const Value& args, const std::string& where) {
+  require(args, "rounds", Value::Type::kNumber, where);
+  require(args, "messages", Value::Type::kNumber, where);
+  require(args, "local_ops", Value::Type::kNumber, where);
+}
+
+void check_trace(const Value& doc) {
+  if (!doc.is_object()) {
+    fail("top level is not an object");
+    return;
+  }
+  const Value* events =
+      require(doc, "traceEvents", Value::Type::kArray, "trace");
+  if (events == nullptr) return;
+  std::size_t i = 0;
+  for (const Value& e : events->array) {
+    std::string where = "traceEvents[" + std::to_string(i++) + "]";
+    if (!e.is_object()) {
+      fail(where + " is not an object");
+      continue;
+    }
+    require(e, "name", Value::Type::kString, where);
+    const Value* ph = require(e, "ph", Value::Type::kString, where);
+    if (ph != nullptr && ph->string != "X") {
+      fail(where + ": expected complete events (ph == \"X\")");
+    }
+    require(e, "ts", Value::Type::kNumber, where);
+    require(e, "dur", Value::Type::kNumber, where);
+    require(e, "pid", Value::Type::kNumber, where);
+    require(e, "tid", Value::Type::kNumber, where);
+    const Value* args = require(e, "args", Value::Type::kObject, where);
+    if (args != nullptr) check_cost_args(*args, where + ".args");
+  }
+}
+
+void check_jsonl_line(const Value& doc, std::size_t lineno) {
+  std::string where = "line " + std::to_string(lineno);
+  if (!doc.is_object()) {
+    fail(where + " is not an object");
+    return;
+  }
+  require(doc, "name", Value::Type::kString, where);
+  require(doc, "tid", Value::Type::kNumber, where);
+  require(doc, "depth", Value::Type::kNumber, where);
+  require(doc, "start_us", Value::Type::kNumber, where);
+  require(doc, "dur_us", Value::Type::kNumber, where);
+  check_cost_args(doc, where);
+}
+
+void check_bench(const Value& doc) {
+  if (!doc.is_object()) {
+    fail("top level is not an object");
+    return;
+  }
+  require(doc, "schema_version", Value::Type::kNumber, "bench");
+  const Value* kind = require(doc, "kind", Value::Type::kString, "bench");
+  if (kind != nullptr && kind->string != "dyncg-bench") {
+    fail("bench: kind is not \"dyncg-bench\"");
+  }
+  require(doc, "name", Value::Type::kString, "bench");
+  require(doc, "git_rev", Value::Type::kString, "bench");
+  require(doc, "host_seconds", Value::Type::kNumber, "bench");
+  const Value* config = require(doc, "config", Value::Type::kObject, "bench");
+  if (config != nullptr) {
+    require(*config, "threads", Value::Type::kNumber, "bench.config");
+  }
+  const Value* tables = require(doc, "tables", Value::Type::kArray, "bench");
+  if (tables == nullptr) return;
+  if (tables->array.empty()) fail("bench: tables is empty");
+  std::size_t ti = 0;
+  for (const Value& t : tables->array) {
+    std::string where = "tables[" + std::to_string(ti++) + "]";
+    if (!t.is_object()) {
+      fail(where + " is not an object");
+      continue;
+    }
+    require(t, "title", Value::Type::kString, where);
+    const Value* rows = require(t, "rows", Value::Type::kArray, where);
+    if (rows == nullptr) continue;
+    std::size_t ri = 0;
+    for (const Value& r : rows->array) {
+      std::string rwhere = where + ".rows[" + std::to_string(ri++) + "]";
+      if (!r.is_object()) {
+        fail(rwhere + " is not an object");
+        continue;
+      }
+      require(r, "problem", Value::Type::kString, rwhere);
+      require(r, "claim", Value::Type::kString, rwhere);
+      require(r, "slope", Value::Type::kNumber, rwhere);
+      const Value* pts = require(r, "points", Value::Type::kArray, rwhere);
+      if (pts == nullptr) continue;
+      std::size_t pi = 0;
+      for (const Value& p : pts->array) {
+        std::string pwhere = rwhere + ".points[" + std::to_string(pi++) + "]";
+        if (!p.is_object()) {
+          fail(pwhere + " is not an object");
+          continue;
+        }
+        require(p, "n", Value::Type::kNumber, pwhere);
+        require(p, "rounds", Value::Type::kNumber, pwhere);
+      }
+    }
+  }
+}
+
+bool read_file(const char* path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dyncg_json_check --trace|--jsonl|--bench FILE\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) return usage();
+  const std::string mode = argv[1];
+  g_file = argv[2];
+  std::string text;
+  if (!read_file(argv[2], &text)) {
+    std::fprintf(stderr, "%s: cannot read\n", argv[2]);
+    return 1;
+  }
+
+  if (mode == "--jsonl") {
+    std::istringstream lines(text);
+    std::string line;
+    std::size_t lineno = 0;
+    std::size_t parsed = 0;
+    while (std::getline(lines, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      Value v;
+      std::string err;
+      if (!dyncg::json::parse(line, &v, &err)) {
+        fail("line " + std::to_string(lineno) + ": " + err);
+        continue;
+      }
+      check_jsonl_line(v, lineno);
+      ++parsed;
+    }
+    if (parsed == 0) fail("no records");
+  } else if (mode == "--trace" || mode == "--bench") {
+    Value v;
+    std::string err;
+    if (!dyncg::json::parse(text, &v, &err)) {
+      fail("parse error: " + err);
+    } else if (mode == "--trace") {
+      check_trace(v);
+    } else {
+      check_bench(v);
+    }
+  } else {
+    return usage();
+  }
+
+  if (g_ok) std::printf("%s: ok\n", g_file);
+  return g_ok ? 0 : 1;
+}

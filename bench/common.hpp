@@ -35,8 +35,10 @@
 #endif
 
 #include "dyncg/motion.hpp"
+#include "machine/faults.hpp"
 #include "machine/machine.hpp"
 #include "pieces/piecewise.hpp"
+#include "support/fatal.hpp"
 #include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
@@ -91,7 +93,9 @@ struct Row {
 
 // Schema version of the BENCH_<name>.json reports; bump on layout changes
 // and document them in docs/OBSERVABILITY.md.
-inline constexpr int kBenchJsonSchemaVersion = 1;
+// v2: added the "faults" section (active DYNCG_FAULTS spec + process-wide
+// fault counters).
+inline constexpr int kBenchJsonSchemaVersion = 2;
 
 // Process-wide recorder behind print_table(): collects every table and
 // writes BENCH_<name>.json at exit.
@@ -107,6 +111,9 @@ class BenchReport {
     if (!atexit_registered_) {
       atexit_registered_ = true;
       std::atexit([] { BenchReport::instance().write(); });
+      // A DYNCG_ASSERT abort skips atexit hooks; flush the report from the
+      // fatal path too so a crashed sweep still leaves its rows on disk.
+      fatal::register_flush([] { BenchReport::instance().write(); });
     }
   }
 
@@ -161,6 +168,27 @@ class BenchReport {
     w.key("parallel_sort");
     w.value(false);
 #endif
+    w.end_object();
+    w.key("faults");
+    w.begin_object();
+    {
+      const char* spec = std::getenv("DYNCG_FAULTS");
+      w.key("spec");
+      w.value(spec != nullptr ? spec : "");
+      FaultCountersSnapshot fc = faults_global::snapshot();
+      w.key("link_down_hits");
+      w.value(fc.link_down_hits);
+      w.key("pe_down_hits");
+      w.value(fc.pe_down_hits);
+      w.key("words_dropped");
+      w.value(fc.words_dropped);
+      w.key("retries");
+      w.value(fc.retries);
+      w.key("detour_rounds");
+      w.value(fc.detour_rounds);
+      w.key("remaps");
+      w.value(fc.remaps);
+    }
     w.end_object();
     w.key("host_seconds");
     w.value(std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -103,6 +103,24 @@ CollisionReport collision_times(Machine& m, const MotionSystem& system,
   return report;
 }
 
+StatusOr<CollisionReport> try_collision_times(Machine& m,
+                                              const MotionSystem& system,
+                                              std::size_t query,
+                                              bool use_randomized_sort_model) {
+  const std::size_t n = system.size();
+  if (query >= n) {
+    return Status::invalid_argument("query index " + std::to_string(query) +
+                                    " out of range [0, " + std::to_string(n) +
+                                    ")");
+  }
+  if (m.size() < n) {
+    return Status::failed_precondition(
+        "machine smaller than the system: " + std::to_string(m.size()) +
+        " PEs for " + std::to_string(n) + " points");
+  }
+  return collision_times(m, system, query, use_randomized_sort_model);
+}
+
 Machine collision_machine_mesh(const MotionSystem& system) {
   return Machine::mesh_for(system.size());
 }

@@ -4,6 +4,7 @@
 
 #include "dyncg/motion.hpp"
 #include "machine/machine.hpp"
+#include "support/status.hpp"
 
 // Collision detection (Section 4.1, Theorem 4.2).
 //
@@ -29,6 +30,12 @@ struct CollisionReport {
 CollisionReport collision_times(Machine& m, const MotionSystem& system,
                                 std::size_t query,
                                 bool use_randomized_sort_model = false);
+
+// Recoverable-error variant: rejects an out-of-range query or an undersized
+// machine with a Status instead of aborting.
+StatusOr<CollisionReport> try_collision_times(
+    Machine& m, const MotionSystem& system, std::size_t query,
+    bool use_randomized_sort_model = false);
 
 // Machines of the paper's size: Theta(n) PEs.
 Machine collision_machine_mesh(const MotionSystem& system);

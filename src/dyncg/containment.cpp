@@ -68,6 +68,20 @@ IntervalSet containment_intervals(Machine& m, const MotionSystem& system,
   return J;
 }
 
+StatusOr<IntervalSet> try_containment_intervals(
+    Machine& m, const MotionSystem& system,
+    const std::vector<double>& dims) {
+  if (dims.size() != system.dimension()) {
+    return Status::invalid_argument(
+        "one rectangle dimension per coordinate: got " +
+        std::to_string(dims.size()) + " dimensions for a " +
+        std::to_string(system.dimension()) + "-dimensional system");
+  }
+  Status st = validate_envelope_input(m, system.size());
+  if (!st.is_ok()) return st;
+  return containment_intervals(m, system, dims);
+}
+
 PiecewisePoly enclosing_cube_edge(Machine& m, const MotionSystem& system) {
   const int k = std::max(1, system.motion_degree());
   std::vector<PiecewisePoly> spreads = coordinate_spreads(m, system);

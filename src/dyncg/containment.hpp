@@ -31,6 +31,12 @@ std::vector<PiecewisePoly> coordinate_spreads(Machine& m,
 IntervalSet containment_intervals(Machine& m, const MotionSystem& system,
                                   const std::vector<double>& dims);
 
+// Recoverable-error variant: rejects a dims/dimension mismatch or an
+// undersized machine with a Status instead of aborting.
+StatusOr<IntervalSet> try_containment_intervals(Machine& m,
+                                                const MotionSystem& system,
+                                                const std::vector<double>& dims);
+
 // Theorem 4.7: the edge-length function D(t).
 PiecewisePoly enclosing_cube_edge(Machine& m, const MotionSystem& system);
 

@@ -186,6 +186,27 @@ HullMembershipBreakdown hull_membership_breakdown(Machine& m,
                                  std::move(D0), std::move(total)};
 }
 
+StatusOr<IntervalSet> try_hull_membership_intervals(Machine& m,
+                                                    const MotionSystem& system,
+                                                    std::size_t query) {
+  if (system.dimension() != 2) {
+    return Status::unsupported(
+        "hull membership is planar (dimension 2), got dimension " +
+        std::to_string(system.dimension()));
+  }
+  const std::size_t n = system.size();
+  if (query >= n) {
+    return Status::invalid_argument("query index " + std::to_string(query) +
+                                    " out of range [0, " + std::to_string(n) +
+                                    ")");
+  }
+  if (n > 2) {
+    Status st = validate_envelope_input(m, n - 1);
+    if (!st.is_ok()) return st;
+  }
+  return hull_membership_intervals(m, system, query);
+}
+
 Machine hull_membership_machine_mesh(const MotionSystem& system) {
   return envelope_machine_mesh(system.size(),
                                4 * std::max(1, system.motion_degree()));

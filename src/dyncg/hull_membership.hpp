@@ -63,6 +63,13 @@ class AngleFamily {
 IntervalSet hull_membership_intervals(Machine& m, const MotionSystem& system,
                                       std::size_t query);
 
+// Recoverable-error variant: a non-planar system is kUnsupported, an
+// out-of-range query or too-small system kInvalidArgument, an undersized
+// machine kFailedPrecondition.
+StatusOr<IntervalSet> try_hull_membership_intervals(Machine& m,
+                                                    const MotionSystem& system,
+                                                    std::size_t query);
+
 // The same computation with Lemma 4.4's four conditions reported
 // separately: A0 = [a0 - d0 >= pi], B0 = [b0 - c0 <= pi], C0 = [G side
 // empty], D0 = [B side empty]; total is their union.

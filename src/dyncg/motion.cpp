@@ -61,6 +61,25 @@ MotionSystem::MotionSystem(std::size_t dimension,
   }
 }
 
+StatusOr<MotionSystem> MotionSystem::try_create(
+    std::size_t dimension, std::vector<Trajectory> points) {
+  if (dimension < 1) {
+    return Status::invalid_argument("motion system dimension must be >= 1");
+  }
+  if (points.empty()) {
+    return Status::invalid_argument("motion system has no points");
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].dimension() != dimension) {
+      return Status::invalid_argument(
+          "trajectory " + std::to_string(i) + " has dimension " +
+          std::to_string(points[i].dimension()) + ", expected " +
+          std::to_string(dimension));
+    }
+  }
+  return MotionSystem(dimension, std::move(points));
+}
+
 int MotionSystem::motion_degree() const {
   int k = 0;
   for (const Trajectory& p : points_) k = std::max(k, p.motion_degree());

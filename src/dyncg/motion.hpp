@@ -4,6 +4,7 @@
 
 #include "poly/polynomial.hpp"
 #include "support/rng.hpp"
+#include "support/status.hpp"
 
 // The k-motion model (Section 2.4): n point-objects P_0, ..., P_{n-1} move
 // in Euclidean d-space, every coordinate of every trajectory a polynomial of
@@ -47,6 +48,12 @@ class Trajectory {
 class MotionSystem {
  public:
   MotionSystem(std::size_t dimension, std::vector<Trajectory> points);
+
+  // Recoverable-error variant of the constructor: a zero dimension, an
+  // empty point set, or a trajectory of the wrong dimension is an
+  // invalid-argument Status instead of an abort.
+  static StatusOr<MotionSystem> try_create(std::size_t dimension,
+                                           std::vector<Trajectory> points);
 
   std::size_t size() const { return points_.size(); }
   std::size_t dimension() const { return dim_; }

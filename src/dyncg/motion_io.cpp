@@ -31,13 +31,16 @@ std::string to_text(const MotionSystem& system) {
   return os.str();
 }
 
-MotionSystem motion_from_text(const std::string& text) {
+StatusOr<MotionSystem> try_motion_from_text(const std::string& text) {
   std::istringstream is(text);
   std::string line;
   std::size_t dim = 0;
   bool header_seen = false;
   std::vector<Trajectory> points;
   std::size_t lineno = 0;
+  auto fail = [&lineno](const std::string& msg) {
+    return Status::parse_error("line " + std::to_string(lineno) + ": " + msg);
+  };
   while (std::getline(is, line)) {
     ++lineno;
     // Strip comments and whitespace-only lines.
@@ -48,15 +51,15 @@ MotionSystem motion_from_text(const std::string& text) {
     if (!(ls >> tok)) continue;
     if (tok == "dyncg-motion") {
       int version = 0;
-      DYNCG_ASSERT(static_cast<bool>(ls >> version) && version == 1,
-                   "unsupported motion file version");
+      if (!(ls >> version) || version != 1) {
+        return fail("unsupported motion file version");
+      }
       header_seen = true;
     } else if (tok == "dim") {
-      DYNCG_ASSERT(header_seen, "motion file missing header");
-      DYNCG_ASSERT(static_cast<bool>(ls >> dim) && dim >= 1,
-                   "bad dim line in motion file");
+      if (!header_seen) return fail("motion file missing header");
+      if (!(ls >> dim) || dim < 1) return fail("bad dim line in motion file");
     } else if (tok == "point") {
-      DYNCG_ASSERT(dim >= 1, "point before dim in motion file");
+      if (dim < 1) return fail("point before dim in motion file");
       std::vector<Polynomial> coords;
       std::vector<double> cur;
       std::string w;
@@ -69,31 +72,52 @@ MotionSystem motion_from_text(const std::string& text) {
         }
       }
       coords.push_back(Polynomial(cur));
-      DYNCG_ASSERT(coords.size() == dim,
-                   "wrong coordinate count in motion file point");
+      if (coords.size() != dim) {
+        return fail("wrong coordinate count in motion file point: got " +
+                    std::to_string(coords.size()) + ", expected " +
+                    std::to_string(dim));
+      }
       points.push_back(Trajectory(std::move(coords)));
     } else {
-      DYNCG_ASSERT(false, "unknown directive in motion file");
+      return fail("unknown directive in motion file: \"" + tok + "\"");
     }
   }
-  DYNCG_ASSERT(header_seen, "not a dyncg-motion file");
-  DYNCG_ASSERT(!points.empty(), "motion file has no points");
-  return MotionSystem(dim, std::move(points));
+  if (!header_seen) return Status::parse_error("not a dyncg-motion file");
+  if (points.empty()) return Status::parse_error("motion file has no points");
+  return MotionSystem::try_create(dim, std::move(points));
+}
+
+MotionSystem motion_from_text(const std::string& text) {
+  return try_motion_from_text(text).value();
+}
+
+Status try_save_motion_system(const MotionSystem& system,
+                              const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::io_error("cannot open motion file for writing: " + path);
+  }
+  out << to_text(system);
+  out.flush();
+  if (!out) return Status::io_error("motion file write failed: " + path);
+  return Status::ok();
 }
 
 void save_motion_system(const MotionSystem& system, const std::string& path) {
-  std::ofstream out(path);
-  DYNCG_ASSERT(static_cast<bool>(out), "cannot open motion file for writing");
-  out << to_text(system);
-  DYNCG_ASSERT(static_cast<bool>(out), "motion file write failed");
+  Status st = try_save_motion_system(system, path);
+  DYNCG_ASSERT(st.is_ok(), st.to_string().c_str());
+}
+
+StatusOr<MotionSystem> try_load_motion_system(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::io_error("cannot open motion file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return try_motion_from_text(buf.str());
 }
 
 MotionSystem load_motion_system(const std::string& path) {
-  std::ifstream in(path);
-  DYNCG_ASSERT(static_cast<bool>(in), "cannot open motion file");
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return motion_from_text(buf.str());
+  return try_load_motion_system(path).value();
 }
 
 }  // namespace dyncg

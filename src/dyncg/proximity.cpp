@@ -70,6 +70,27 @@ NeighborSequence neighbor_sequence(Machine& m, const MotionSystem& system,
   return seq;
 }
 
+StatusOr<NeighborSequence> try_neighbor_sequence(Machine& m,
+                                                 const MotionSystem& system,
+                                                 std::size_t query,
+                                                 bool farthest,
+                                                 EnvelopeRunStats* stats) {
+  const std::size_t n = system.size();
+  if (n < 2) {
+    return Status::invalid_argument(
+        "neighbor sequence needs at least two points, got " +
+        std::to_string(n));
+  }
+  if (query >= n) {
+    return Status::invalid_argument("query index " + std::to_string(query) +
+                                    " out of range [0, " + std::to_string(n) +
+                                    ")");
+  }
+  Status st = validate_envelope_input(m, n - 1);
+  if (!st.is_ok()) return st;
+  return neighbor_sequence(m, system, query, farthest, stats);
+}
+
 Machine proximity_machine_mesh(const MotionSystem& system) {
   int s = std::max(1, 2 * system.motion_degree());
   return envelope_machine_mesh(system.size() - 1, s);

@@ -39,6 +39,12 @@ NeighborSequence neighbor_sequence(Machine& m, const MotionSystem& system,
                                    std::size_t query, bool farthest = false,
                                    EnvelopeRunStats* stats = nullptr);
 
+// Recoverable-error variant: rejects a too-small system, an out-of-range
+// query, or an undersized machine with a Status instead of aborting.
+StatusOr<NeighborSequence> try_neighbor_sequence(
+    Machine& m, const MotionSystem& system, std::size_t query,
+    bool farthest = false, EnvelopeRunStats* stats = nullptr);
+
 // Machines of the paper's size lambda_M(n-1, 2k) / lambda_H(n-1, 2k).
 Machine proximity_machine_mesh(const MotionSystem& system);
 Machine proximity_machine_hypercube(const MotionSystem& system);

@@ -29,6 +29,21 @@ void charge_combine_level(Machine& m, std::size_t w, int s_bound) {
 
 }  // namespace envelope_detail
 
+Status validate_envelope_input(const Machine& m, std::size_t family_size) {
+  if (family_size < 1) {
+    return Status::invalid_argument("envelope of an empty family");
+  }
+  std::size_t need = ceil_pow2(family_size);
+  if (m.size() < need) {
+    return Status::failed_precondition(
+        "machine smaller than the function count: " +
+        std::to_string(m.size()) + " PEs for " +
+        std::to_string(family_size) + " functions (need >= " +
+        std::to_string(need) + ")");
+  }
+  return Status::ok();
+}
+
 Machine envelope_machine_mesh(std::size_t n, int s_bound, MeshOrder order) {
   std::size_t n2 = ceil_pow2(n);
   return Machine(make_mesh_for(lambda_upper_bound(n2, s_bound), order));

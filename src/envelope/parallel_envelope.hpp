@@ -6,6 +6,7 @@
 #include "pieces/piecewise.hpp"
 #include "support/ackermann.hpp"
 #include "support/assert.hpp"
+#include "support/status.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
@@ -161,5 +162,23 @@ Machine envelope_machine_hypercube(std::size_t n, int s_bound,
 PiecewiseFn parallel_envelope_poly(Machine& m, const PolyFamily& fam,
                                    int s_bound, bool take_min = true,
                                    EnvelopeRunStats* stats = nullptr);
+
+// Input validation shared by every envelope-backed try_ entry point: the
+// family must be non-empty and the machine must hold ceil_pow2(n) strings.
+// (The one-piece-per-PE invariant inside the recursion stays DYNCG_ASSERT —
+// violating it means the lambda bound, not the input, is wrong.)
+Status validate_envelope_input(const Machine& m, std::size_t family_size);
+
+// Recoverable-error variant of parallel_envelope: rejects bad input with a
+// Status instead of aborting.  See support/status.hpp.
+template <class Family>
+StatusOr<PiecewiseFn> try_parallel_envelope(Machine& m, const Family& fam,
+                                            int s_bound, bool take_min = true,
+                                            EnvelopeRunStats* stats = nullptr,
+                                            bool adaptive = false) {
+  Status st = validate_envelope_input(m, fam.size());
+  if (!st.is_ok()) return st;
+  return parallel_envelope(m, fam, s_bound, take_min, stats, adaptive);
+}
 
 }  // namespace dyncg

@@ -1,6 +1,7 @@
 #include "machine/fabric.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace dyncg {
 namespace fabric_reference {
@@ -9,7 +10,10 @@ namespace {
 struct Packet {
   std::size_t at;
   std::size_t dst;
+  std::size_t dst_rank;   // logical rank the payload belongs to on arrival
   long payload;
+  std::size_t hops = 0;      // hops actually taken
+  std::size_t baseline = 0;  // fault-free shortest-path distance at creation
 };
 
 // Next hop under dimension-order routing: meshes route along the row first,
@@ -29,69 +33,164 @@ std::size_t next_hop(const Topology& topo, std::size_t at, std::size_t dst) {
 
 // Store-and-forward router with one word per directed link per round and
 // unbounded PE queues.  Returns the number of rounds until every packet is
-// delivered; on return, `values` holds the payloads by destination rank.
+// delivered; on return, `delivered_by_rank[p.dst_rank]` holds each payload.
+//
+// With `faults`, a packet whose dimension-order hop crosses a downed link
+// detours along route_avoiding's next hop, a packet whose final hop enters
+// a downed PE waits for recovery, and a packet matching a drop event is
+// retransmitted next round — all counted into `telemetry` (fault counters
+// only; link load counters belong to the owning Fabric's CSR indices) and
+// the process-global fault counters.  A round in which faults pin every
+// pending packet in place still costs a round; kMaxFaultRetries consecutive
+// such rounds is an unrecoverable fault and aborts.
 std::uint64_t route_all(const Topology& topo, std::vector<Packet> packets,
-                        std::vector<long>* delivered_by_node) {
+                        std::vector<long>* delivered_by_rank,
+                        const FaultPlan* faults, FabricTelemetry* telemetry) {
+  for (Packet& p : packets) p.baseline = topo.shortest_path(p.at, p.dst);
   std::uint64_t rounds = 0;
-  bool any_moving = true;
-  while (any_moving) {
-    any_moving = false;
+  unsigned stalled = 0;
+  for (;;) {
     // Farthest-first priority keeps the router deterministic.
     std::sort(packets.begin(), packets.end(),
               [&topo](const Packet& a, const Packet& b) {
                 std::size_t da = topo.shortest_path(a.at, a.dst);
                 std::size_t db = topo.shortest_path(b.at, b.dst);
                 if (da != db) return da > db;
-                return a.dst < b.dst;
+                if (a.dst != b.dst) return a.dst < b.dst;
+                return a.dst_rank < b.dst_rank;
               });
     std::vector<std::pair<std::size_t, std::size_t>> used;
+    bool pending = false;
+    bool moved = false;
     for (Packet& p : packets) {
       if (p.at == p.dst) continue;
+      pending = true;
       std::size_t nh = next_hop(topo, p.at, p.dst);
-      std::pair<std::size_t, std::size_t> link{p.at, nh};
-      if (std::find(used.begin(), used.end(), link) == used.end()) {
-        used.push_back(link);
-        p.at = nh;
+      if (faults != nullptr && faults->link_down(p.at, nh, rounds)) {
+        if (telemetry != nullptr) ++telemetry->fault_link_down_hits;
+        faults_global::count_link_down_hit();
+        std::vector<std::size_t> path =
+            route_avoiding(topo, *faults, p.at, p.dst, rounds);
+        if (path.size() < 2) {
+          // Transient partition: wait for the fault window to close.
+          if (telemetry != nullptr) ++telemetry->fault_retries;
+          faults_global::count_retry();
+          continue;
+        }
+        nh = path[1];
       }
-      any_moving = true;
+      if (faults != nullptr && nh == p.dst && faults->pe_down(p.dst, rounds)) {
+        if (telemetry != nullptr) ++telemetry->fault_pe_down_hits;
+        faults_global::count_pe_down_hit();
+        if (telemetry != nullptr) ++telemetry->fault_retries;
+        faults_global::count_retry();
+        continue;
+      }
+      std::pair<std::size_t, std::size_t> link{p.at, nh};
+      if (std::find(used.begin(), used.end(), link) != used.end()) continue;
+      used.push_back(link);
+      if (faults != nullptr && faults->drop_word(p.at, nh, rounds)) {
+        // The word crossed the link and was lost; retransmit next round.
+        if (telemetry != nullptr) {
+          ++telemetry->fault_words_dropped;
+          ++telemetry->fault_retries;
+        }
+        faults_global::count_word_dropped();
+        faults_global::count_retry();
+        moved = true;
+        continue;
+      }
+      p.at = nh;
+      ++p.hops;
+      moved = true;
     }
-    if (any_moving) ++rounds;
+    if (!pending) break;
+    ++rounds;
+    if (moved) {
+      stalled = 0;
+    } else if (++stalled > kMaxFaultRetries) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "unrecoverable fault: reference router stalled for %u "
+                    "rounds at round %llu",
+                    stalled, static_cast<unsigned long long>(rounds));
+      DYNCG_ASSERT(false, buf);
+    }
   }
-  if (delivered_by_node != nullptr) {
-    for (const Packet& p : packets) (*delivered_by_node)[p.dst] = p.payload;
+  std::size_t detour = 0;
+  for (const Packet& p : packets) {
+    if (delivered_by_rank != nullptr) {
+      (*delivered_by_rank)[p.dst_rank] = p.payload;
+    }
+    if (p.hops > p.baseline) detour += p.hops - p.baseline;
+  }
+  if (detour > 0) {
+    if (telemetry != nullptr) {
+      telemetry->fault_detour_rounds += detour;
+    }
+    faults_global::count_detour_rounds(detour);
   }
   return rounds;
+}
+
+// Physical home of each logical rank.  A rank whose node is down at the
+// operation's start round is remapped to the live node of highest rank (see
+// remap_spare); the remap is counted once per displaced rank.
+std::vector<std::size_t> rank_homes(const Topology& topo,
+                                    const FaultPlan* faults,
+                                    FabricTelemetry* telemetry) {
+  std::size_t n = topo.size();
+  std::vector<std::size_t> home(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::size_t node = topo.node_of_rank(r);
+    if (faults != nullptr && faults->pe_down(node, 0)) {
+      std::size_t spare = remap_spare(topo, *faults, node, 0);
+      DYNCG_ASSERT(spare != kUnreachable,
+                   "unrecoverable fault: every PE is down, no spare to remap "
+                   "onto");
+      node = spare;
+      if (telemetry != nullptr) ++telemetry->fault_remaps;
+      faults_global::count_remap();
+    }
+    home[r] = node;
+  }
+  return home;
 }
 
 }  // namespace
 
 std::uint64_t exchange_offset(const Topology& topo, unsigned k,
-                              std::vector<long>& values) {
+                              std::vector<long>& values,
+                              const FaultPlan* faults,
+                              FabricTelemetry* telemetry) {
   std::size_t n = topo.size();
+  std::vector<std::size_t> home = rank_homes(topo, faults, telemetry);
   std::vector<Packet> pkts;
   pkts.reserve(n);
   for (std::size_t r = 0; r < n; ++r) {
     std::size_t partner = r ^ (std::size_t{1} << k);
-    pkts.push_back(Packet{topo.node_of_rank(r), topo.node_of_rank(partner),
-                          values[r]});
+    pkts.push_back(Packet{home[r], home[partner], partner, values[r]});
   }
-  std::vector<long> by_node(n, 0);
-  std::uint64_t rounds = route_all(topo, std::move(pkts), &by_node);
-  for (std::size_t r = 0; r < n; ++r) values[r] = by_node[topo.node_of_rank(r)];
+  std::vector<long> by_rank(n, 0);
+  std::uint64_t rounds =
+      route_all(topo, std::move(pkts), &by_rank, faults, telemetry);
+  values = by_rank;
   return rounds;
 }
 
 std::uint64_t shift_up(const Topology& topo, std::vector<long>& values,
-                       long fill) {
+                       long fill, const FaultPlan* faults,
+                       FabricTelemetry* telemetry) {
   std::size_t n = topo.size();
+  std::vector<std::size_t> home = rank_homes(topo, faults, telemetry);
   std::vector<Packet> pkts;
   for (std::size_t r = 0; r + 1 < n; ++r) {
-    pkts.push_back(Packet{topo.node_of_rank(r), topo.node_of_rank(r + 1),
-                          values[r]});
+    pkts.push_back(Packet{home[r], home[r + 1], r + 1, values[r]});
   }
-  std::vector<long> by_node(n, 0);
-  std::uint64_t rounds = route_all(topo, std::move(pkts), &by_node);
-  for (std::size_t r = 1; r < n; ++r) values[r] = by_node[topo.node_of_rank(r)];
+  std::vector<long> by_rank(n, 0);
+  std::uint64_t rounds =
+      route_all(topo, std::move(pkts), &by_rank, faults, telemetry);
+  for (std::size_t r = 1; r < n; ++r) values[r] = by_rank[r];
   values[0] = fill;
   return rounds;
 }

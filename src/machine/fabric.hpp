@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <utility>
 #include <vector>
 
 #include "machine/cost.hpp"
+#include "machine/faults.hpp"
 #include "machine/telemetry.hpp"
 #include "machine/topology.hpp"
 #include "support/assert.hpp"
@@ -18,6 +20,23 @@
 // layer is the ground truth for the cost model: the ops layer (Layer B)
 // charges pattern costs analytically, and the fabric tests replay the same
 // patterns hop by hop to verify those charges are achievable.
+//
+// Fault tolerance (machine/faults.hpp, docs/ROBUSTNESS.md).  With a
+// FaultPlan attached, the fabric degrades gracefully instead of losing
+// words:
+//   - a word sent over a downed link becomes a *relay packet* carried
+//     around the fault on a deterministic BFS detour, one hop per round;
+//   - a word matching a drop event is retransmitted in the next round;
+//   - a word arriving at a PE inside a down-window waits (retrying each
+//     round) until the PE recovers.
+// Relay packets respect the one-word-per-directed-link-per-round capacity
+// (contention makes them wait, never abort) and are bounded by
+// kMaxFaultRetries waits each; exceeding the bound — or a fault that
+// partitions the machine — is unrecoverable and aborts with a diagnostic.
+// Every fault encountered and every recovery action is counted in the
+// attached FabricTelemetry.  A multi-hop recovery means a word can arrive
+// several deliver() calls after it was sent; callers that attached a plan
+// should drain with `while (!fab.idle()) fab.deliver();`.
 namespace dyncg {
 
 template <class Msg>
@@ -51,18 +70,65 @@ class Fabric {
   }
   std::size_t directed_links() const { return link_to_.size(); }
 
+  // Attach a fault schedule (nullptr to detach).  The plan is consulted by
+  // round number from the fabric's own clock; attach before the first send.
+  void set_fault_plan(const FaultPlan* plan) { faults_ = plan; }
+  const FaultPlan* fault_plan() const { return faults_; }
+
+  // No word is staged or in recovery flight: safe to stop delivering.
+  bool idle() const {
+    if (!transits_.empty()) return false;
+    for (const auto& box : staged_) {
+      if (!box.empty()) return false;
+    }
+    return true;
+  }
+  std::size_t transits_in_flight() const { return transits_.size(); }
+
   // Stage a word from node `from` to adjacent node `to` for this round.
   void send(std::size_t from, std::size_t to, Msg m) {
     auto first = link_to_.begin() + static_cast<std::ptrdiff_t>(link_off_[from]);
     auto last = link_to_.begin() + static_cast<std::ptrdiff_t>(link_off_[from + 1]);
     auto it = std::lower_bound(first, last, to);
-    DYNCG_ASSERT(it != last && *it == to, "fabric send on a non-link");
+    if (it == last || *it != to) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "fabric send on a non-link: node %zu -> node %zu at "
+                    "round %llu",
+                    from, to, static_cast<unsigned long long>(rounds_));
+      DYNCG_ASSERT(false, buf);
+    }
+    if (faults_ != nullptr && faults_->link_down(from, to, rounds_)) {
+      // Reroute: carry the word around the fault as a relay packet.  The
+      // packet starts moving in this same round, so a one-hop-longer
+      // detour costs exactly its extra hops.
+      count_link_down_hit();
+      std::vector<std::size_t> path =
+          route_avoiding(topo_, *faults_, from, to, rounds_);
+      if (path.empty()) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "unrecoverable fault: no route around downed link "
+                      "%zu-%zu at round %llu (machine partitioned)",
+                      from, to, static_cast<unsigned long long>(rounds_));
+        DYNCG_ASSERT(false, buf);
+      }
+      transits_.push_back(
+          Transit{std::move(path), 0, rounds_, 0, std::move(m)});
+      return;
+    }
     // The stamp records the round (plus one, so 0 means "never") in which
     // this directed link last carried a word; no per-round clearing needed.
     std::uint64_t& stamp =
         link_stamp_[static_cast<std::size_t>(it - link_to_.begin())];
-    DYNCG_ASSERT(stamp != rounds_ + 1, "link capacity exceeded (one word per "
-                                       "directed link per round)");
+    if (stamp == rounds_ + 1) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "link capacity exceeded (one word per directed link per "
+                    "round): node %zu -> node %zu at round %llu",
+                    from, to, static_cast<unsigned long long>(rounds_));
+      DYNCG_ASSERT(false, buf);
+    }
     stamp = rounds_ + 1;
     if (telemetry_ != nullptr) {
       telemetry_->record_send(
@@ -71,12 +137,45 @@ class Fabric {
     staged_[from].emplace_back(to, std::move(m));
   }
 
-  // End of round: deliver every staged word and advance the clock.
+  // End of round: deliver every staged word, advance every relay packet one
+  // hop, and advance the clock.
   void deliver() {
     for (auto& box : inbox_) box.clear();
     std::uint64_t moved = 0;
+    // Relay packets move first (in creation order — deterministic), so a
+    // detour packet claims its link for this round before the round ends.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < transits_.size(); ++i) {
+      Transit& t = transits_[i];
+      bool done = false;
+      if (t.ready_round <= rounds_) done = advance_transit(t, &moved);
+      if (!done) {
+        if (kept != i) transits_[kept] = std::move(transits_[i]);
+        ++kept;
+      }
+    }
+    transits_.resize(kept);
     for (std::size_t v = 0; v < staged_.size(); ++v) {
       for (auto& s : staged_[v]) {
+        if (faults_ != nullptr && faults_->drop_word(v, s.first, rounds_)) {
+          // Lost in flight: the sender notices the missing ack and
+          // retransmits next round.
+          count_word_dropped();
+          count_retry();
+          transits_.push_back(Transit{{v, s.first}, 0, rounds_ + 1, 1,
+                                      std::move(s.second)});
+          ++moved;  // the word did traverse the link before being lost
+          continue;
+        }
+        if (faults_ != nullptr && faults_->pe_down(s.first, rounds_)) {
+          // Receiver is down: hold the word at the sender and retry until
+          // the PE recovers.
+          count_pe_down_hit();
+          count_retry();
+          transits_.push_back(Transit{{v, s.first}, 0, rounds_ + 1, 1,
+                                      std::move(s.second)});
+          continue;
+        }
         inbox_[s.first].push_back(std::move(s.second));
         ++moved;
       }
@@ -93,12 +192,114 @@ class Fabric {
   const std::vector<Msg>& inbox(std::size_t v) const { return inbox_[v]; }
 
  private:
+  // A word in recovery flight: a path (recomputed if faults shift under
+  // it), the hop index reached so far, the first round it may move again,
+  // and how many times it has waited or been retransmitted.
+  struct Transit {
+    std::vector<std::size_t> path;
+    std::size_t hop;
+    std::uint64_t ready_round;
+    unsigned retries;
+    Msg msg;
+  };
+
+  void count_link_down_hit() {
+    if (telemetry_ != nullptr) ++telemetry_->fault_link_down_hits;
+    faults_global::count_link_down_hit();
+  }
+  void count_pe_down_hit() {
+    if (telemetry_ != nullptr) ++telemetry_->fault_pe_down_hits;
+    faults_global::count_pe_down_hit();
+  }
+  void count_word_dropped() {
+    if (telemetry_ != nullptr) ++telemetry_->fault_words_dropped;
+    faults_global::count_word_dropped();
+  }
+  void count_retry() {
+    if (telemetry_ != nullptr) ++telemetry_->fault_retries;
+    faults_global::count_retry();
+  }
+  void count_detour_round() {
+    if (telemetry_ != nullptr) ++telemetry_->fault_detour_rounds;
+    faults_global::count_detour_rounds(1);
+  }
+
+  void wait_transit(Transit& t) {
+    ++t.retries;
+    count_retry();
+    if (t.retries > kMaxFaultRetries) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "unrecoverable fault: word for node %zu stuck at node "
+                    "%zu after %u retries (round %llu)",
+                    t.path.back(), t.path[t.hop], t.retries,
+                    static_cast<unsigned long long>(rounds_));
+      DYNCG_ASSERT(false, buf);
+    }
+    t.ready_round = rounds_ + 1;
+  }
+
+  // Move one relay packet one hop in the current round if it can.  Returns
+  // true when the word reached its destination's inbox.
+  bool advance_transit(Transit& t, std::uint64_t* moved) {
+    std::size_t at = t.path[t.hop];
+    std::size_t dst = t.path.back();
+    std::size_t next = t.path[t.hop + 1];
+    // Faults may have shifted since the path was computed.
+    if (faults_->link_down(at, next, rounds_)) {
+      count_link_down_hit();
+      std::vector<std::size_t> path =
+          route_avoiding(topo_, *faults_, at, dst, rounds_);
+      if (path.empty()) {
+        wait_transit(t);  // transient partition: retry until it heals
+        return false;
+      }
+      t.path = std::move(path);
+      t.hop = 0;
+      next = t.path[1];
+    }
+    // Entering the destination requires it to be live this round.
+    if (next == dst && faults_->pe_down(dst, rounds_)) {
+      count_pe_down_hit();
+      wait_transit(t);
+      return false;
+    }
+    // Capacity: one word per directed link per round; contention waits.
+    auto first = link_to_.begin() + static_cast<std::ptrdiff_t>(link_off_[at]);
+    auto last = link_to_.begin() + static_cast<std::ptrdiff_t>(link_off_[at + 1]);
+    auto it = std::lower_bound(first, last, next);
+    std::size_t link = static_cast<std::size_t>(it - link_to_.begin());
+    if (link_stamp_[link] == rounds_ + 1) {
+      wait_transit(t);
+      return false;
+    }
+    link_stamp_[link] = rounds_ + 1;
+    if (telemetry_ != nullptr) telemetry_->record_send(link);
+    count_detour_round();
+    // The word may itself be dropped on the detour hop.
+    if (faults_->drop_word(at, next, rounds_)) {
+      count_word_dropped();
+      wait_transit(t);
+      return false;
+    }
+    ++t.hop;
+    ++*moved;
+    if (t.hop + 1 == t.path.size()) {
+      inbox_[dst].push_back(std::move(t.msg));
+      return true;
+    }
+    t.ready_round = rounds_ + 1;
+    return false;
+  }
+
   const Topology& topo_;
   CostLedger* ledger_;
   FabricTelemetry* telemetry_ = nullptr;
+  const FaultPlan* faults_ = nullptr;
   std::uint64_t rounds_ = 0;
   std::vector<std::vector<Msg>> inbox_;
   std::vector<std::vector<std::pair<std::size_t, Msg>>> staged_;
+  std::vector<Transit> transits_;  // words in recovery flight
   // CSR adjacency (sorted neighbors per node) + last-staged-round stamps,
   // one per directed link.
   std::vector<std::size_t> link_to_;
@@ -107,19 +308,26 @@ class Fabric {
 };
 
 // Reference (hop-by-hop) implementations of the basic patterns, used by the
-// tests to validate Layer B's analytic pattern costs.
+// tests to validate Layer B's analytic pattern costs, and — with a fault
+// plan — to prove the reroute/remap delivery path preserves every payload.
 namespace fabric_reference {
 
 // Full-machine exchange between rank partners r <-> r ^ 2^k: every pair
 // swaps its words via shortest paths, pipelined one hop per round.  Returns
-// the number of rounds consumed.
+// the number of rounds consumed.  With `faults`, routing detours around
+// downed links, logical ranks living on a permanently downed node are
+// remapped to the healthy spare of highest rank, and the result is
+// byte-identical to the fault-free run (at a possibly higher round count).
 std::uint64_t exchange_offset(const Topology& topo, unsigned k,
-                              std::vector<long>& values);
+                              std::vector<long>& values,
+                              const FaultPlan* faults = nullptr,
+                              FabricTelemetry* telemetry = nullptr);
 
 // Unit rank shift: rank r's word moves to rank r+1 (the last rank's word is
 // discarded and rank 0 receives `fill`).  Returns rounds consumed.
 std::uint64_t shift_up(const Topology& topo, std::vector<long>& values,
-                       long fill);
+                       long fill, const FaultPlan* faults = nullptr,
+                       FabricTelemetry* telemetry = nullptr);
 
 }  // namespace fabric_reference
 

@@ -1,0 +1,170 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+// Deterministic fault injection for the simulated machines.
+//
+// The paper's target fabrics (MPP-class meshes, CM-2-class hypercubes) fail
+// by link, by PE, and by dropped word; a production simulator must degrade
+// gracefully under all three.  A FaultPlan is a *schedule*: a list of
+// events keyed by the machine's synchronous round number, fixed before the
+// run and fully deterministic (same plan + same workload = same rounds,
+// same counters, at any host thread count).  Both machine layers consult
+// it:
+//
+//   Layer A (Fabric, hop-by-hop): send/deliver check the plan each round.
+//     A word staged on a downed link is carried around it on a detour path
+//     (a relay packet moving one hop per round); a word matching a drop
+//     event is retransmitted next round; a word entering a PE inside a
+//     down-window waits for recovery.  Retries are bounded
+//     (kMaxFaultRetries) — exhausting them is an unrecoverable fault.
+//
+//   Layer B (Machine, analytic): charge_exchange / charge_shift add the
+//     honest detour price for every event whose window overlaps the rounds
+//     the pattern spans — see docs/ROBUSTNESS.md for the charging rules.
+//     Register contents never consult the plan, so geometric output is
+//     byte-identical to the fault-free run; only the ledger and telemetry
+//     change.
+//
+// Text grammar (docs/ROBUSTNESS.md):
+//   spec    := event (',' event)*
+//   event   := 'link:' A '-' B '@' window     both directions of the link
+//            | 'pe:' N '@' window             the PE and all its links
+//            | 'drop:' A '-' B '@' R          one word, direction A -> B
+//   window  := R          round R only
+//            | R '..'     from round R forever
+//            | R '..' R2  rounds R through R2 inclusive
+// Example: "link:5-6@0..,drop:0-1@3" — link 5-6 down for the whole run,
+// plus the word staged on 0->1 in round 3 lost once.
+namespace dyncg {
+
+class Topology;
+
+// Retries per word before the delivery layer declares the fault
+// unrecoverable and aborts (Layer A only; Layer B detours analytically).
+inline constexpr unsigned kMaxFaultRetries = 32;
+
+struct FaultEvent {
+  enum class Kind { kLinkDown, kPeDown, kWordDrop };
+  static constexpr std::uint64_t kForever =
+      std::numeric_limits<std::uint64_t>::max();
+
+  Kind kind = Kind::kLinkDown;
+  std::size_t a = 0;  // link endpoint / PE id
+  std::size_t b = 0;  // link endpoint (kLinkDown, kWordDrop)
+  std::uint64_t from_round = 0;        // inclusive
+  std::uint64_t to_round = kForever;   // inclusive; == from_round for drops
+
+  bool active_at(std::uint64_t round) const {
+    return round >= from_round && round <= to_round;
+  }
+  // Does [r0, r1) intersect the event's window?
+  bool overlaps(std::uint64_t r0, std::uint64_t r1) const {
+    return r0 <= to_round && from_round < r1;
+  }
+
+  std::string to_string() const;  // re-parseable spec fragment
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  // Parse the grammar above.  Whitespace around events is tolerated.
+  static StatusOr<FaultPlan> parse(const std::string& spec);
+
+  // Seeded random plan over the topology's real links and nodes: exactly
+  // the requested number of events of each kind, windows inside
+  // [0, horizon).  Deterministic in (seed, topology, counts, horizon).
+  static FaultPlan random(std::uint64_t seed, const Topology& topo,
+                          std::size_t link_downs, std::size_t pe_downs,
+                          std::size_t word_drops, std::uint64_t horizon);
+
+  // Convenience single-fault plans used throughout the tests.
+  static FaultPlan single_link_down(std::size_t a, std::size_t b,
+                                    std::uint64_t from = 0,
+                                    std::uint64_t to = FaultEvent::kForever);
+  static FaultPlan single_pe_down(std::size_t node, std::uint64_t from = 0,
+                                  std::uint64_t to = FaultEvent::kForever);
+
+  bool empty() const { return events_.empty(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+  void add(FaultEvent e) { events_.push_back(e); }
+
+  // Queries, all O(#events) — plans are small schedules, not traces.
+  bool link_down(std::size_t a, std::size_t b, std::uint64_t round) const;
+  bool pe_down(std::size_t node, std::uint64_t round) const;
+  bool drop_word(std::size_t from, std::size_t to, std::uint64_t round) const;
+
+  std::string to_string() const;  // canonical, re-parseable spec
+  std::string to_json() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+// Routing around faults (shared by the Fabric relay path, the hop-by-hop
+// reference router, and the Layer B charging rules).
+
+// Shortest path from `from` to `to` whose links are all up and whose
+// interior nodes are all live at `round`, by BFS with smallest-id
+// tie-breaking (deterministic).  Includes both endpoints; empty when the
+// faults disconnect the pair.
+std::vector<std::size_t> route_avoiding(const Topology& topo,
+                                        const FaultPlan& plan,
+                                        std::size_t from, std::size_t to,
+                                        std::uint64_t round);
+
+// Extra rounds a single word pays to detour around the downed link (a, b):
+// length of route_avoiding minus the direct hop.  kUnreachable when the
+// machine is partitioned.
+inline constexpr std::size_t kUnreachable =
+    std::numeric_limits<std::size_t>::max();
+std::size_t detour_extra_rounds(const Topology& topo, const FaultPlan& plan,
+                                std::size_t a, std::size_t b,
+                                std::uint64_t round);
+
+// Logical-to-physical remap for a downed PE: the live node of highest rank
+// takes over the downed node's logical role.  kUnreachable when every node
+// is down.
+std::size_t remap_spare(const Topology& topo, const FaultPlan& plan,
+                        std::size_t down_node, std::uint64_t round);
+
+// Process-wide fault counters, mirrored from every FabricTelemetry /
+// Machine that handles a fault.  They feed the bench reports'
+// machine-readable fault section (bench/common.hpp) without threading a
+// telemetry object through every bench; relaxed atomics because they are
+// counters, never control flow.
+struct FaultCountersSnapshot {
+  std::uint64_t link_down_hits = 0;
+  std::uint64_t pe_down_hits = 0;
+  std::uint64_t words_dropped = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t detour_rounds = 0;
+  std::uint64_t remaps = 0;
+};
+
+namespace faults_global {
+void count_link_down_hit(std::uint64_t n = 1);
+void count_pe_down_hit(std::uint64_t n = 1);
+void count_word_dropped(std::uint64_t n = 1);
+void count_retry(std::uint64_t n = 1);
+void count_detour_rounds(std::uint64_t n);
+void count_remap(std::uint64_t n = 1);
+FaultCountersSnapshot snapshot();
+}  // namespace faults_global
+
+// The process-wide plan activated by the DYNCG_FAULTS environment variable
+// (parsed once, at first use).  Every Machine picks it up at construction
+// unless a plan is attached explicitly; a malformed value aborts with the
+// parse error, matching the strict-flag conventions.  Returns nullptr when
+// the variable is unset or empty.
+const FaultPlan* env_fault_plan();
+
+}  // namespace dyncg

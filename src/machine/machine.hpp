@@ -1,8 +1,11 @@
 #pragma once
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "machine/cost.hpp"
+#include "machine/faults.hpp"
 #include "machine/telemetry.hpp"
 #include "machine/topology.hpp"
 
@@ -13,12 +16,26 @@
 // the ledger the topology's true round price for each communication pattern
 // they perform.  The fabric tests (Layer A) verify hop-by-hop that those
 // prices are achievable on the physical links.
+//
+// Fault tolerance (machine/faults.hpp, docs/ROBUSTNESS.md).  A Machine may
+// carry a FaultPlan — attached explicitly with set_fault_plan() or picked up
+// from the DYNCG_FAULTS environment variable at construction.  The plan
+// never touches register contents, so every algorithm's geometric output is
+// byte-identical to the fault-free run; what changes is the *price*: each
+// pattern charge computes the window of ledger rounds the pattern spans and
+// adds the honest recovery cost of every fault event overlapping that
+// window (detour rounds around downed links, a one-time state migration
+// plus per-pattern dilation for downed PEs, a timeout-and-retransmit round
+// pair per dropped word).  The penalties appear in the ledger, in the
+// telemetry's fault counters, and as "fault.recover" trace spans.
 namespace dyncg {
 
 class Machine {
  public:
   explicit Machine(std::shared_ptr<const Topology> topo)
-      : topo_(std::move(topo)) {}
+      : topo_(std::move(topo)) {
+    set_fault_plan(env_fault_plan());
+  }
 
   std::size_t size() const { return topo_->size(); }
   const Topology& topology() const { return *topo_; }
@@ -33,16 +50,35 @@ class Machine {
   MachineTelemetry& telemetry() { return telemetry_; }
   const MachineTelemetry& telemetry() const { return telemetry_; }
 
+  // Attach a fault schedule (nullptr detaches).  The plan must outlive the
+  // machine.  Rounds already on the ledger are unaffected; subsequent
+  // pattern charges pay recovery penalties for overlapping events.
+  void set_fault_plan(const FaultPlan* plan) {
+    faults_ = (plan != nullptr && !plan->empty()) ? plan : nullptr;
+    remapped_events_.assign(
+        faults_ != nullptr ? faults_->events().size() : 0, false);
+  }
+  const FaultPlan* fault_plan() const { return faults_; }
+
+  // Human-readable summary of the faults this machine absorbed (one line
+  // per counter; "no faults injected" without a plan).  Used by
+  // dyncg_cli --fault-report.
+  std::string fault_report() const;
+
   // Pattern charges.  Width-limited variants charge the same price as the
   // full-machine pattern: disjoint strings operate in parallel, so the cost
   // is the maximum over strings, which equals the single-string cost.
   void charge_exchange(unsigned k) {
+    std::uint64_t r0 = ledger_.snapshot().rounds;
     ledger_.add_rounds(topo_->exchange_rounds(k));
     ledger_.add_messages(size());
+    if (faults_ != nullptr) apply_fault_penalty(r0, ledger_.snapshot().rounds);
   }
   void charge_shift(std::uint64_t distance = 1) {
+    std::uint64_t r0 = ledger_.snapshot().rounds;
     ledger_.add_rounds(distance * topo_->shift_rounds());
     ledger_.add_messages(size());
+    if (faults_ != nullptr) apply_fault_penalty(r0, ledger_.snapshot().rounds);
   }
   // Per-PE local work: charged as the maximum over PEs (SIMD model).
   void charge_local(std::uint64_t ops = 1) { ledger_.add_local_ops(ops); }
@@ -58,9 +94,17 @@ class Machine {
   }
 
  private:
+  // Charge the recovery price of every fault event overlapping the pattern
+  // window [r0, r1) on the ledger's round clock.  Defined in machine.cpp.
+  void apply_fault_penalty(std::uint64_t r0, std::uint64_t r1);
+
   std::shared_ptr<const Topology> topo_;
   CostLedger ledger_;
   MachineTelemetry telemetry_;
+  const FaultPlan* faults_ = nullptr;
+  // One flag per plan event: has this machine already paid the one-time
+  // state migration for that PE-down event?
+  std::vector<bool> remapped_events_;
 };
 
 }  // namespace dyncg

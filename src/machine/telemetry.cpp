@@ -46,6 +46,12 @@ std::string FabricTelemetry::report() const {
     os << "    [" << lo << ".." << hi << "] words: " << round_histogram[b]
        << " rounds\n";
   }
+  if (faults_encountered() > 0 || fault_retries > 0 || fault_remaps > 0) {
+    os << "  faults: " << fault_link_down_hits << " link-down, "
+       << fault_pe_down_hits << " pe-down, " << fault_words_dropped
+       << " dropped; " << fault_retries << " retries, " << fault_remaps
+       << " remaps, " << fault_detour_rounds << " detour rounds\n";
+  }
   return os.str();
 }
 
@@ -70,6 +76,21 @@ std::string FabricTelemetry::to_json() const {
   w.begin_array();
   for (std::uint64_t c : round_histogram) w.value(c);
   w.end_array();
+  w.key("faults");
+  w.begin_object();
+  w.key("link_down_hits");
+  w.value(fault_link_down_hits);
+  w.key("pe_down_hits");
+  w.value(fault_pe_down_hits);
+  w.key("words_dropped");
+  w.value(fault_words_dropped);
+  w.key("retries");
+  w.value(fault_retries);
+  w.key("detour_rounds");
+  w.value(fault_detour_rounds);
+  w.key("remaps");
+  w.value(fault_remaps);
+  w.end_object();
   w.end_object();
   return w.str();
 }

@@ -34,6 +34,21 @@ struct FabricTelemetry {
   // (i.e. m in [2^(b-1), 2^b)).
   std::vector<std::uint64_t> round_histogram;
 
+  // Fault handling (machine/faults.hpp): injected events encountered and
+  // what the reroute-and-retry path paid to absorb them.  Bumped by the
+  // fault-aware Fabric delivery, the hop-by-hop reference router, and the
+  // Machine's analytic detour charges.
+  std::uint64_t fault_link_down_hits = 0;  // sends that met a downed link
+  std::uint64_t fault_pe_down_hits = 0;    // words that met a downed PE
+  std::uint64_t fault_words_dropped = 0;   // in-flight words lost
+  std::uint64_t fault_retries = 0;         // retransmissions / waits
+  std::uint64_t fault_detour_rounds = 0;   // extra rounds paid for reroutes
+  std::uint64_t fault_remaps = 0;          // logical-to-physical PE remaps
+
+  std::uint64_t faults_encountered() const {
+    return fault_link_down_hits + fault_pe_down_hits + fault_words_dropped;
+  }
+
   void reset(std::size_t links) {
     *this = FabricTelemetry{};
     link_messages.assign(links, 0);

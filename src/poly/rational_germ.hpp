@@ -2,6 +2,7 @@
 
 #include "poly/polynomial.hpp"
 #include "support/assert.hpp"
+#include "support/status.hpp"
 
 // The ordered field of rational-function germs at t = +infinity.
 //
@@ -41,6 +42,21 @@ class RationalGerm {
   RationalGerm operator/(const RationalGerm& o) const {
     DYNCG_ASSERT(!o.num_.is_zero(), "division by the zero germ");
     return RationalGerm(num_ * o.den_, den_ * o.num_);
+  }
+
+  // Recoverable-error variants: a zero divisor / zero denominator is an
+  // invalid-argument Status instead of an abort.
+  StatusOr<RationalGerm> try_divide(const RationalGerm& o) const {
+    if (o.num_.is_zero()) {
+      return Status::invalid_argument("division by the zero germ");
+    }
+    return RationalGerm(num_ * o.den_, den_ * o.num_);
+  }
+  static StatusOr<RationalGerm> try_create(Polynomial num, Polynomial den) {
+    if (den.is_zero()) {
+      return Status::invalid_argument("zero denominator germ");
+    }
+    return RationalGerm(std::move(num), std::move(den));
   }
   RationalGerm operator-() const { return RationalGerm(-num_, den_); }
 

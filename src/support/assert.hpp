@@ -3,15 +3,26 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "support/fatal.hpp"
+
 // Invariant checking that stays on in release builds.  The simulator and the
 // geometric kernels are validated against paper-derived bounds (piece counts,
 // link capacities, O(1)-per-PE storage); violating one of those bounds means
 // the reproduction is wrong, so we abort loudly rather than continue.
+//
+// Input validation is a different failure class: library entry points with a
+// `try_` variant return Status instead of asserting (support/status.hpp).
+// DYNCG_ASSERT is for true internal invariants.
+//
+// Before aborting, every registered observability writer is flushed
+// (support/fatal.hpp), so a run that dies mid-flight still leaves its trace
+// and bench-report artifacts on disk.
 #define DYNCG_ASSERT(cond, msg)                                              \
   do {                                                                       \
     if (!(cond)) {                                                           \
       std::fprintf(stderr, "DYNCG_ASSERT failed at %s:%d: %s\n  %s\n",       \
                    __FILE__, __LINE__, #cond, msg);                          \
+      ::dyncg::fatal::flush_all();                                           \
       std::abort();                                                          \
     }                                                                        \
   } while (0)

@@ -1,0 +1,42 @@
+#include "support/fatal.hpp"
+
+#include <atomic>
+
+namespace dyncg {
+namespace fatal {
+namespace {
+
+// Fixed-capacity registry: no allocation on the fatal path, and the set of
+// writers in this codebase is tiny (trace env file, CLI trace-out, bench
+// report).  Slots are written once; the count is released after the slot so
+// flush_all never reads a half-initialized entry.
+constexpr int kMaxFlushers = 16;
+FlushFn g_flushers[kMaxFlushers];
+std::atomic<int> g_count{0};
+std::atomic<bool> g_flushing{false};
+
+}  // namespace
+
+void register_flush(FlushFn fn) {
+  if (fn == nullptr) return;
+  int n = g_count.load(std::memory_order_acquire);
+  for (int i = 0; i < n; ++i) {
+    if (g_flushers[i] == fn) return;
+  }
+  if (n >= kMaxFlushers) return;
+  g_flushers[n] = fn;
+  g_count.store(n + 1, std::memory_order_release);
+}
+
+void flush_all() noexcept {
+  bool expected = false;
+  if (!g_flushing.compare_exchange_strong(expected, true)) return;
+  int n = g_count.load(std::memory_order_acquire);
+  for (int i = 0; i < n; ++i) {
+    g_flushers[i]();
+  }
+  g_flushing.store(false, std::memory_order_release);
+}
+
+}  // namespace fatal
+}  // namespace dyncg

@@ -1,0 +1,29 @@
+#pragma once
+
+// Fatal-error artifact flushing.
+//
+// Observability writers (the DYNCG_TRACE span buffers, dyncg_cli's
+// --trace-out file, the bench BENCH_<name>.json reports) normally run from
+// atexit hooks, which abort() skips — so a run that died on a DYNCG_ASSERT
+// used to leave no artifacts exactly when they are most needed.  Writers
+// register a flush function here; DYNCG_ASSERT calls flush_all() right
+// before aborting, so a faulted run still writes its trace and report.
+//
+// Flush functions must be idempotent (they also run from the normal atexit
+// path) and must not assert; flush_all() is reentrancy-guarded so an assert
+// raised *inside* a flusher cannot recurse.
+namespace dyncg {
+namespace fatal {
+
+using FlushFn = void (*)();
+
+// Register `fn` to run on fatal errors.  Duplicate registrations are
+// ignored; capacity is small and fixed (excess registrations are dropped).
+void register_flush(FlushFn fn);
+
+// Run every registered flusher once.  Safe to call multiple times and from
+// inside a flusher (inner calls are no-ops).
+void flush_all() noexcept;
+
+}  // namespace fatal
+}  // namespace dyncg

@@ -1,0 +1,28 @@
+#include "support/status.hpp"
+
+namespace dyncg {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kParseError: return "PARSE_ERROR";
+    case StatusCode::kUnsupported: return "UNSUPPORTED";
+    case StatusCode::kUnrecoverable: return "UNRECOVERABLE";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string s = status_code_name(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace dyncg

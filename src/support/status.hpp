@@ -1,0 +1,132 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "support/assert.hpp"
+
+// Recoverable errors for library entry points.
+//
+// The simulator distinguishes two failure classes.  *Internal invariants*
+// (piece-count bounds, link capacities, O(1)-per-PE storage) mean the
+// reproduction itself is wrong; those stay DYNCG_ASSERT and abort loudly.
+// *Input validation* (dimension mismatches, machines sized below the
+// workload, degenerate germs, malformed motion files or fault specs) is the
+// caller's problem, and a production-facing driver must be able to reject
+// the input, report it, and keep serving.  Every validated entry point has a
+// `try_`-prefixed variant returning Status / StatusOr<T>; the plain variant
+// forwards to it and aborts on error, preserving the historical contract.
+//
+// Codes map to distinct dyncg_cli exit codes (see docs/ROBUSTNESS.md):
+//   kOk                 0   success
+//   kIoError            1   a file could not be opened, read, or written
+//   kInvalidArgument    3   a parameter is out of range or inconsistent
+//   kFailedPrecondition 4   the machine/system cannot run this workload
+//   kParseError         5   malformed motion file or fault spec
+//   kUnsupported        6   valid input outside the implemented scope
+//   kUnrecoverable      7   a fault plan the delivery layer cannot route
+//                           around (partitioned machine, retries exhausted)
+namespace dyncg {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kIoError = 1,
+  kInvalidArgument = 3,
+  kFailedPrecondition = 4,
+  kParseError = 5,
+  kUnsupported = 6,
+  kUnrecoverable = 7,
+};
+
+// Name of the code as it appears in messages ("INVALID_ARGUMENT", ...).
+const char* status_code_name(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  static Status io_error(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status invalid_argument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status failed_precondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status parse_error(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status unrecoverable(std::string msg) {
+    return Status(StatusCode::kUnrecoverable, std::move(msg));
+  }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // The process exit code dyncg_cli maps this status to.
+  int exit_code() const { return static_cast<int>(code_); }
+
+  // "INVALID_ARGUMENT: query index 9 out of range [0, 8)"
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Value-or-error.  Accessing value() on an error status is a caller bug and
+// aborts with the underlying status message.
+template <class T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT: implicit from error status
+      : status_(std::move(status)) {
+    DYNCG_ASSERT(!status_.is_ok(), "StatusOr built from an OK status");
+  }
+  StatusOr(T value)  // NOLINT: implicit from value
+      : value_(std::move(value)) {}
+
+  bool is_ok() const { return status_.is_ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    check();
+    return *value_;
+  }
+  T& value() & {
+    check();
+    return *value_;
+  }
+  T&& value() && {
+    check();
+    return *std::move(value_);
+  }
+
+ private:
+  void check() const {
+    if (!value_.has_value()) {
+      DYNCG_ASSERT(false, status_.to_string().c_str());
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagate an error status out of a Status-returning function.
+#define DYNCG_RETURN_IF_ERROR(expr)                   \
+  do {                                                \
+    ::dyncg::Status dyncg_status_tmp_ = (expr);       \
+    if (!dyncg_status_tmp_.is_ok()) return dyncg_status_tmp_; \
+  } while (0)
+
+}  // namespace dyncg

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "support/fatal.hpp"
 #include "support/json.hpp"
 
 namespace dyncg {
@@ -89,6 +90,12 @@ struct EnvActivation {
         std::fprintf(stderr, "dyncg: failed to write DYNCG_TRACE file '%s'\n",
                      p.c_str());
       }
+    });
+    // A DYNCG_ASSERT abort skips atexit hooks; flush the buffered spans
+    // from the fatal path too, so the trace of a crashed run survives.
+    fatal::register_flush([] {
+      const std::string& p = EnvActivation::instance().path;
+      if (!p.empty()) write(p);
     });
   }
 };

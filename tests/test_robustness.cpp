@@ -160,8 +160,57 @@ TEST(StaticSystems, HullMembershipConstant) {
 }
 
 // --- failure injection -------------------------------------------------------
+//
+// Input validation is recoverable (support/status.hpp): the try_ variants
+// return a typed Status the driver can report without dying.  The plain
+// variants keep the historical abort contract, pinned by the two death
+// tests at the end; the Status codes themselves are exercised exhaustively
+// in tests/test_faults.cpp.
 
-TEST(FailureInjection, MachineTooSmallAborts) {
+TEST(FailureInjection, MachineTooSmallIsFailedPrecondition) {
+  Rng rng(1);
+  MotionSystem sys = random_motion_system(rng, 9, 2, 1);
+  Machine tiny = Machine::hypercube_for(2);
+  StatusOr<NeighborSequence> got = try_neighbor_sequence(tiny, sys, 0);
+  ASSERT_FALSE(got.is_ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(got.status().message().find("machine smaller"), std::string::npos);
+}
+
+TEST(FailureInjection, HullMembershipRequiresPlane) {
+  Rng rng(2);
+  MotionSystem sys3d = random_motion_system(rng, 4, 3, 1);
+  Machine m = Machine::mesh_for(16);
+  StatusOr<IntervalSet> got = try_hull_membership_intervals(m, sys3d, 0);
+  ASSERT_FALSE(got.is_ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnsupported);
+  EXPECT_NE(got.status().message().find("planar"), std::string::npos);
+}
+
+TEST(FailureInjection, GermDivisionByZeroIsInvalidArgument) {
+  RationalGerm one(1.0);
+  RationalGerm zero(0.0);
+  StatusOr<RationalGerm> got = one.try_divide(zero);
+  ASSERT_FALSE(got.is_ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(got.status().message().find("division by the zero germ"),
+            std::string::npos);
+}
+
+TEST(FailureInjection, ContainmentDimensionCountChecked) {
+  Rng rng(3);
+  MotionSystem sys = random_motion_system(rng, 4, 2, 1);
+  Machine m = containment_machine_mesh(sys);
+  StatusOr<IntervalSet> got =
+      try_containment_intervals(m, sys, {1.0});  // one dim for a 2-D system
+  ASSERT_FALSE(got.is_ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(got.status().message().find("one rectangle dimension per coordinate"),
+            std::string::npos);
+}
+
+// The plain (non-try_) variants still abort loudly on bad input.
+TEST(FailureInjection, PlainVariantsStillAbort) {
   Rng rng(1);
   MotionSystem sys = random_motion_system(rng, 9, 2, 1);
   EXPECT_DEATH(
@@ -180,39 +229,6 @@ TEST(FailureInjection, DimensionMismatchAborts) {
         a.distance_squared(b);
       },
       "dimension");
-}
-
-TEST(FailureInjection, HullMembershipRequiresPlane) {
-  Rng rng(2);
-  MotionSystem sys3d = random_motion_system(rng, 4, 3, 1);
-  EXPECT_DEATH(
-      {
-        Machine m = Machine::mesh_for(16);
-        hull_membership_intervals(m, sys3d, 0);
-      },
-      "planar");
-}
-
-TEST(FailureInjection, GermDivisionByZeroAborts) {
-  EXPECT_DEATH(
-      {
-        RationalGerm one(1.0);
-        RationalGerm zero(0.0);
-        RationalGerm r = one / zero;
-        (void)r;
-      },
-      "division by the zero germ");
-}
-
-TEST(FailureInjection, ContainmentDimensionCountChecked) {
-  Rng rng(3);
-  MotionSystem sys = random_motion_system(rng, 4, 2, 1);
-  EXPECT_DEATH(
-      {
-        Machine m = containment_machine_mesh(sys);
-        containment_intervals(m, sys, {1.0});  // one dim for a 2-D system
-      },
-      "one rectangle dimension per coordinate");
 }
 
 // --- numerical stress ---------------------------------------------------------

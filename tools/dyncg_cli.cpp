@@ -23,6 +23,12 @@
 //   --adaptive        adaptive (submesh) envelope
 //   --box <w,h,...>   rectangle dimensions for `contain`
 //   --file <path>     load the system from a dyncg-motion file
+//   --faults <spec>   inject a deterministic fault plan (grammar in
+//                     docs/ROBUSTNESS.md, e.g. "link:0-1@0..,drop:2-3@4").
+//                     Overrides the DYNCG_FAULTS env var.  The geometric
+//                     output is unchanged; the ledger pays the honest
+//                     recovery price.
+//   --fault-report    print the fault counters after the run
 //   --threads <int>   host threads for the simulator (0 = all hardware
 //                     threads; overrides DYNCG_THREADS; default 1).  Never
 //                     changes the reported rounds/messages/local_ops — see
@@ -34,7 +40,12 @@
 //                     accepts --trace-out=<file>.  The DYNCG_TRACE env var
 //                     does the same without a flag (docs/OBSERVABILITY.md).
 //
-// Unknown flags and malformed values exit 2 with a usage message.
+// Exit codes (docs/ROBUSTNESS.md): 0 success; 1 I/O error; 2 usage error
+// (unknown flags, malformed values); 3 invalid argument; 4 failed
+// precondition (machine too small for the workload); 5 parse error
+// (malformed motion file or fault spec); 6 unsupported input; 7
+// unrecoverable fault.  Library input validation is surfaced as returned
+// Status errors, never aborts.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -48,10 +59,13 @@
 #include "dyncg/hull_membership.hpp"
 #include "dyncg/proximity.hpp"
 #include "envelope/parallel_envelope.hpp"
+#include "machine/faults.hpp"
 #include "machine/other_topologies.hpp"
 #include "pieces/envelope_serial.hpp"
 #include "steady/machine_geometry.hpp"
+#include "support/fatal.hpp"
 #include "support/rng.hpp"
+#include "support/status.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
@@ -71,8 +85,17 @@ struct Options {
   bool adaptive = false;
   std::vector<double> box;
   std::string file;  // load the system from a dyncg-motion file instead
+  std::string faults;       // --faults spec (overrides DYNCG_FAULTS)
+  bool fault_report = false;
   std::string trace_out;  // write a span trace here on exit
 };
+
+// Fault plan attached to every machine the commands build (set from
+// --faults), and whether to print the counters afterwards.
+const FaultPlan* g_cli_faults = nullptr;
+bool g_fault_report = false;
+// --trace-out path, visible to the fatal-flush hook.
+std::string g_trace_out;
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
@@ -80,7 +103,7 @@ struct Options {
                "envelope|topo> [--n N] [--k K] [--d D] [--seed S] "
                "[--machine mesh|hypercube|ccc|shuffle] [--query Q] "
                "[--farthest] [--adaptive] [--box w,h,...] [--threads T] "
-               "[--trace-out FILE]\n",
+               "[--faults SPEC] [--fault-report] [--trace-out FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -169,6 +192,11 @@ Options parse(int argc, char** argv) {
     } else if (a == "--file") {
       o.file = next();
       if (o.file.empty()) flag_error(argv[0], a, "a path", "");
+    } else if (a == "--faults") {
+      o.faults = next();
+      if (o.faults.empty()) flag_error(argv[0], a, "a fault spec", "");
+    } else if (a == "--fault-report") {
+      o.fault_report = true;
     } else if (a == "--trace-out") {
       o.trace_out = next();
       if (o.trace_out.empty()) flag_error(argv[0], a, "a path", "");
@@ -208,46 +236,71 @@ Machine make_machine(const Options& o, std::size_t capacity) {
   std::exit(2);
 }
 
+// Attach the --faults plan (the DYNCG_FAULTS env plan is picked up by the
+// Machine constructor on its own).
+void arm(Machine& m) {
+  if (g_cli_faults != nullptr) m.set_fault_plan(g_cli_faults);
+}
+
+// Print a library Status error and return its process exit code.
+int fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.to_string().c_str());
+  return st.exit_code();
+}
+
 void report_cost(const Machine& m, const CostSnapshot& cost) {
   std::printf("[%s, %zu PEs] %s\n", m.topology().name().c_str(), m.size(),
               cost.to_string().c_str());
+  if (g_fault_report) std::fputs(m.fault_report().c_str(), stdout);
 }
 
-MotionSystem make_system(const Options& o) {
-  if (!o.file.empty()) return load_motion_system(o.file);
+StatusOr<MotionSystem> make_system(const Options& o) {
+  if (!o.file.empty()) return try_load_motion_system(o.file);
   Rng rng(o.seed);
   return random_motion_system(rng, o.n, o.d, o.k);
 }
 
 int cmd_neighbor(const Options& o) {
-  MotionSystem sys = make_system(o);
-  int s = std::max(1, 2 * sys.motion_degree());
-  Machine m = make_machine(o, lambda_upper_bound(ceil_pow2(o.n), s));
+  StatusOr<MotionSystem> sys = make_system(o);
+  if (!sys.is_ok()) return fail(sys.status());
+  int s = std::max(1, 2 * sys.value().motion_degree());
+  Machine m =
+      make_machine(o, lambda_upper_bound(ceil_pow2(sys.value().size()), s));
+  arm(m);
   CostMeter meter(m.ledger());
-  NeighborSequence seq = neighbor_sequence(m, sys, o.query, o.farthest);
-  std::printf("%s\n", seq.to_string().c_str());
+  StatusOr<NeighborSequence> seq =
+      try_neighbor_sequence(m, sys.value(), o.query, o.farthest);
+  if (!seq.is_ok()) return fail(seq.status());
+  std::printf("%s\n", seq.value().to_string().c_str());
   report_cost(m, meter.elapsed());
   return 0;
 }
 
 int cmd_pairs(const Options& o) {
-  MotionSystem sys = make_system(o);
-  Machine m = o.machine == "mesh" ? allpairs_machine_mesh(sys)
-                                  : allpairs_machine_hypercube(sys);
+  StatusOr<MotionSystem> sys = make_system(o);
+  if (!sys.is_ok()) return fail(sys.status());
+  Machine m = o.machine == "mesh" ? allpairs_machine_mesh(sys.value())
+                                  : allpairs_machine_hypercube(sys.value());
+  arm(m);
   CostMeter meter(m.ledger());
-  PairSequence seq = closest_pair_sequence(m, sys, o.farthest);
+  PairSequence seq = closest_pair_sequence(m, sys.value(), o.farthest);
   std::printf("%s\n", seq.to_string().c_str());
   report_cost(m, meter.elapsed());
   return 0;
 }
 
 int cmd_collisions(const Options& o) {
-  MotionSystem sys = make_system(o);
-  Machine m = make_machine(o, o.n);
+  StatusOr<MotionSystem> sys = make_system(o);
+  if (!sys.is_ok()) return fail(sys.status());
+  Machine m = make_machine(o, sys.value().size());
+  arm(m);
   CostMeter meter(m.ledger());
-  CollisionReport rep = collision_times(m, sys, o.query);
-  if (rep.events.empty()) std::printf("no collisions for P%zu\n", o.query);
-  for (const CollisionEvent& e : rep.events) {
+  StatusOr<CollisionReport> rep = try_collision_times(m, sys.value(), o.query);
+  if (!rep.is_ok()) return fail(rep.status());
+  if (rep.value().events.empty()) {
+    std::printf("no collisions for P%zu\n", o.query);
+  }
+  for (const CollisionEvent& e : rep.value().events) {
     std::printf("t = %10.4f  P%zu <-> P%zu\n", e.time, o.query, e.other);
   }
   report_cost(m, meter.elapsed());
@@ -255,29 +308,38 @@ int cmd_collisions(const Options& o) {
 }
 
 int cmd_hullwhen(const Options& o) {
-  MotionSystem sys = make_system(o);
-  Machine m = o.machine == "mesh" ? hull_membership_machine_mesh(sys)
-                                  : hull_membership_machine_hypercube(sys);
+  StatusOr<MotionSystem> sys = make_system(o);
+  if (!sys.is_ok()) return fail(sys.status());
+  Machine m = o.machine == "mesh"
+                  ? hull_membership_machine_mesh(sys.value())
+                  : hull_membership_machine_hypercube(sys.value());
+  arm(m);
   CostMeter meter(m.ledger());
-  IntervalSet hit = hull_membership_intervals(m, sys, o.query);
+  StatusOr<IntervalSet> hit =
+      try_hull_membership_intervals(m, sys.value(), o.query);
+  if (!hit.is_ok()) return fail(hit.status());
   std::printf("P%zu is a hull vertex during %s\n", o.query,
-              hit.to_string().c_str());
+              hit.value().to_string().c_str());
   report_cost(m, meter.elapsed());
   return 0;
 }
 
 int cmd_contain(const Options& o) {
-  MotionSystem sys = make_system(o);
-  Machine m = o.machine == "mesh" ? containment_machine_mesh(sys)
-                                  : containment_machine_hypercube(sys);
+  StatusOr<MotionSystem> sys = make_system(o);
+  if (!sys.is_ok()) return fail(sys.status());
+  Machine m = o.machine == "mesh"
+                  ? containment_machine_mesh(sys.value())
+                  : containment_machine_hypercube(sys.value());
+  arm(m);
   CostMeter meter(m.ledger());
   if (!o.box.empty()) {
     std::vector<double> dims = o.box;
-    dims.resize(sys.dimension(), o.box.back());
-    IntervalSet J = containment_intervals(m, sys, dims);
-    std::printf("fits the box during %s\n", J.to_string().c_str());
+    dims.resize(sys.value().dimension(), o.box.back());
+    StatusOr<IntervalSet> J = try_containment_intervals(m, sys.value(), dims);
+    if (!J.is_ok()) return fail(J.status());
+    std::printf("fits the box during %s\n", J.value().to_string().c_str());
   } else {
-    SmallestCube cube = smallest_enclosing_cube(m, sys);
+    SmallestCube cube = smallest_enclosing_cube(m, sys.value());
     std::printf("smallest enclosing cube: edge %.4f at t = %.4f\n", cube.edge,
                 cube.time);
   }
@@ -289,6 +351,7 @@ int cmd_steady(const Options& o) {
   Rng rng(o.seed);
   MotionSystem sys = diverging_motion_system(rng, o.n, std::max(1, o.k));
   Machine m = make_machine(o, o.n);
+  arm(m);
   CostMeter meter(m.ledger());
   std::printf("steady NN of P%zu: P%zu\n", o.query,
               machine_steady_neighbor(m, sys, o.query, o.farthest));
@@ -312,13 +375,15 @@ int cmd_envelope(const Options& o) {
   }
   PolyFamily fam(std::move(fns));
   Machine m = make_machine(o, lambda_upper_bound(ceil_pow2(o.n), o.k));
+  arm(m);
   CostMeter meter(m.ledger());
-  PiecewiseFn env = parallel_envelope(m, fam, std::max(1, o.k),
-                                      /*take_min=*/!o.farthest, nullptr,
-                                      o.adaptive);
+  StatusOr<PiecewiseFn> env =
+      try_parallel_envelope(m, fam, std::max(1, o.k),
+                            /*take_min=*/!o.farthest, nullptr, o.adaptive);
+  if (!env.is_ok()) return fail(env.status());
   std::printf("%s envelope, %zu pieces:\n  %s\n",
-              o.farthest ? "upper" : "lower", env.piece_count(),
-              env.to_string().c_str());
+              o.farthest ? "upper" : "lower", env.value().piece_count(),
+              env.value().to_string().c_str());
   report_cost(m, meter.elapsed());
   return 0;
 }
@@ -353,7 +418,22 @@ int run_command(const Options& o, const char* argv0) {
 
 int main(int argc, char** argv) {
   Options o = parse(argc, argv);
-  if (!o.trace_out.empty()) trace::enable();
+  static FaultPlan cli_plan;  // static: outlives every Machine in the cmds
+  if (!o.faults.empty()) {
+    StatusOr<FaultPlan> parsed = FaultPlan::parse(o.faults);
+    if (!parsed.is_ok()) return fail(parsed.status());
+    cli_plan = std::move(parsed).value();
+    g_cli_faults = &cli_plan;
+  }
+  g_fault_report = o.fault_report;
+  if (!o.trace_out.empty()) {
+    trace::enable();
+    // Also flush the trace if the run dies on a DYNCG_ASSERT.
+    g_trace_out = o.trace_out;
+    fatal::register_flush([] {
+      if (!g_trace_out.empty()) trace::write(g_trace_out);
+    });
+  }
   int rc = run_command(o, argv[0]);
   if (!o.trace_out.empty()) {
     if (!trace::write(o.trace_out)) {

@@ -111,6 +111,15 @@ void check_bench(const Value& doc) {
   if (config != nullptr) {
     require(*config, "threads", Value::Type::kNumber, "bench.config");
   }
+  // v2: the fault-injection section — active spec + process-wide counters.
+  const Value* faults = require(doc, "faults", Value::Type::kObject, "bench");
+  if (faults != nullptr) {
+    require(*faults, "spec", Value::Type::kString, "bench.faults");
+    for (const char* key : {"link_down_hits", "pe_down_hits", "words_dropped",
+                            "retries", "detour_rounds", "remaps"}) {
+      require(*faults, key, Value::Type::kNumber, "bench.faults");
+    }
+  }
   const Value* tables = require(doc, "tables", Value::Type::kArray, "bench");
   if (tables == nullptr) return;
   if (tables->array.empty()) fail("bench: tables is empty");

@@ -1,0 +1,133 @@
+// Fabric replay microbench — the hop-by-hop delivery hot path.
+//
+// The Layer A fabric is the ground truth behind every analytic charge, and
+// its deliver() loop is the innermost host-side loop of the hop-by-hop
+// validation suites.  This bench replays three traffic shapes that stress
+// the paths docs/PERFORMANCE.md inventories:
+//
+//   sparse:  a handful of words per round on a large mesh, many rounds —
+//            the cost of a round must track the words in flight, not the
+//            machine size (per-PE clears / idle() scans would dominate);
+//   faulted: a sustained link-down window crossed by the same sender every
+//            round — detour routing must be cached, not re-BFSed per word;
+//   drain:   pipelined exchange traffic drained with `while (!idle())` —
+//            the idle() check runs once per round on top of delivery.
+//
+// The table's "rounds" column is the fabric's own round clock (simulated
+// cost, thread-count-invariant); the interesting figure is host_seconds in
+// BENCH_fabric_replay.json, which tools/dyncg_bench_diff tracks against
+// baseline/.
+#include "common.hpp"
+#include "machine/fabric.hpp"
+
+namespace dyncg {
+namespace bench {
+namespace {
+
+// Sparse neighbor traffic: `words` adjacent pairs exchange every round for
+// `rounds` rounds on an n-PE mesh.  Returns the fabric round clock.
+std::uint64_t replay_sparse(std::size_t side, std::size_t words,
+                            std::uint64_t rounds) {
+  MeshTopology mesh(side);
+  Fabric<long> fab(mesh);
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    for (std::size_t w = 0; w < words; ++w) {
+      std::size_t v = w * side;  // one sender per row, column 0
+      fab.send(v, v + 1, static_cast<long>(r + w));
+    }
+    fab.deliver();
+    for (std::size_t w = 0; w < words; ++w) {
+      std::size_t v = w * side + 1;
+      if (fab.inbox(v).empty()) std::abort();
+    }
+  }
+  return fab.rounds();
+}
+
+// Sustained fault window: node 0 sends across a downed link every round, so
+// every send needs a detour route for the whole window.
+std::uint64_t replay_faulted(std::size_t side, std::uint64_t rounds) {
+  MeshTopology mesh(side);
+  FaultPlan plan = FaultPlan::single_link_down(0, 1);
+  Fabric<long> fab(mesh);
+  fab.set_fault_plan(&plan);
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    fab.send(0, 1, static_cast<long>(r));
+    fab.deliver();
+  }
+  while (!fab.idle()) fab.deliver();
+  return fab.rounds();
+}
+
+// Pipelined drain: every PE of a hypercube sends to its dimension-0 partner
+// each round for `waves` waves, then the fabric drains to idle.
+std::uint64_t replay_drain(unsigned dims, std::uint64_t waves) {
+  HypercubeTopology cube(dims);
+  std::size_t n = cube.size();
+  Fabric<long> fab(cube);
+  for (std::uint64_t w = 0; w < waves; ++w) {
+    for (std::size_t v = 0; v < n; ++v) {
+      fab.send(v, v ^ 1u, static_cast<long>(v + w));
+    }
+    fab.deliver();
+  }
+  while (!fab.idle()) fab.deliver();
+  return fab.rounds();
+}
+
+void print_replay_tables() {
+  Row sparse_row{"fabric replay, sparse mesh traffic", {}, {}, "Theta(R)"};
+  for (std::size_t side : {128u, 256u, 512u}) {
+    sparse_row.n.push_back(static_cast<double>(side * side));
+    sparse_row.rounds.push_back(
+        static_cast<double>(replay_sparse(side, 32, 2000)));
+  }
+  Row fault_row{"fabric replay, sustained link-down", {}, {}, "Theta(R)"};
+  for (std::size_t side : {8u, 16u, 32u}) {
+    fault_row.n.push_back(static_cast<double>(side * side));
+    fault_row.rounds.push_back(
+        static_cast<double>(replay_faulted(side, 2000)));
+  }
+  Row drain_row{"fabric replay, full-machine drain", {}, {}, "Theta(W)"};
+  for (unsigned dims : {8u, 10u, 12u}) {
+    drain_row.n.push_back(static_cast<double>(std::size_t{1} << dims));
+    drain_row.rounds.push_back(static_cast<double>(replay_drain(dims, 200)));
+  }
+  print_table("Fabric hop-by-hop replay", {sparse_row, fault_row, drain_row});
+}
+
+void BM_Sparse(benchmark::State& state) {
+  std::size_t side = static_cast<std::size_t>(state.range(0));
+  std::uint64_t rounds = 0;
+  for (auto _ : state) rounds = replay_sparse(side, 32, 300);
+  state.counters["sim_rounds"] = static_cast<double>(rounds);
+  state.SetLabel("sparse");
+}
+
+void BM_Faulted(benchmark::State& state) {
+  std::size_t side = static_cast<std::size_t>(state.range(0));
+  std::uint64_t rounds = 0;
+  for (auto _ : state) rounds = replay_faulted(side, 300);
+  state.counters["sim_rounds"] = static_cast<double>(rounds);
+  state.SetLabel("faulted");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dyncg
+
+int main(int argc, char** argv) {
+  dyncg::bench::print_replay_tables();
+  benchmark::RegisterBenchmark("FabricReplay/sparse", dyncg::bench::BM_Sparse)
+      ->Arg(128)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("FabricReplay/faulted",
+                               dyncg::bench::BM_Faulted)
+      ->Arg(16)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -97,6 +97,25 @@ void print_figures() {
               subcube_ok ? "yes" : "NO");
 }
 
+// Recorded table: the Section 2.2/2.3 communication diameters over a size
+// sweep — the structural constant every routing bound in the repo rests on.
+// Deterministic (pure topology), so tools/dyncg_bench_diff pins it exactly.
+void print_diameter_sweep() {
+  Row mesh_row{"mesh communication diameter", {}, {}, "2(n^1/2 - 1)"};
+  for (std::uint32_t side : {16u, 32u, 64u}) {
+    MeshTopology t(side);
+    mesh_row.n.push_back(static_cast<double>(t.size()));
+    mesh_row.rounds.push_back(static_cast<double>(t.diameter()));
+  }
+  Row cube_row{"hypercube communication diameter", {}, {}, "log2 n"};
+  for (unsigned dims : {6u, 8u, 10u}) {
+    HypercubeTopology t(dims);
+    cube_row.n.push_back(static_cast<double>(t.size()));
+    cube_row.rounds.push_back(static_cast<double>(t.diameter()));
+  }
+  print_table("Figures 1-3 communication diameters", {mesh_row, cube_row});
+}
+
 void BM_TopologyConstruction(benchmark::State& state) {
   bool mesh = state.range(0) == 0;
   std::size_t n = static_cast<std::size_t>(state.range(1));
@@ -118,6 +137,7 @@ void BM_TopologyConstruction(benchmark::State& state) {
 
 int main(int argc, char** argv) {
   dyncg::bench::print_figures();
+  dyncg::bench::print_diameter_sweep();
   for (long mesh = 0; mesh < 2; ++mesh) {
     benchmark::RegisterBenchmark("Fig123/topology_construction",
                                  dyncg::bench::BM_TopologyConstruction)

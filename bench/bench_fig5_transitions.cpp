@@ -44,13 +44,21 @@ void print_partial_envelope_bounds() {
               "s + 2k) ===\n");
   std::printf("%6s %3s %14s %14s %18s\n", "n", "k", "a0 pieces", "d0 pieces",
               "lambda(n, 4k+2k?)");
+  // Recorded rows: the Theorem 3.4 partial-envelope construction cost on
+  // the mesh, one row per k — pinned exactly by tools/dyncg_bench_diff.
+  std::vector<Row> rows;
   for (int k : {1, 2}) {
+    Row row{"partial envelope, mesh, k=" + std::to_string(k), {}, {},
+            "Theta(lambda^1/2(n, s+2k))"};
     for (std::size_t n : {8u, 16u, 32u, 64u}) {
       MotionSystem sys = workload(n * 13 + static_cast<std::size_t>(k), n, 2, k);
       RelativeMotion rel = RelativeMotion::around(sys, 0);
       AngleFamily gfam(&rel, true), bfam(&rel, false);
       Machine m = hull_membership_machine_mesh(sys);
+      CostMeter meter(m.ledger());
       PiecewiseFn a0 = parallel_envelope(m, gfam, 4 * k, true);
+      row.n.push_back(static_cast<double>(m.size()));
+      row.rounds.push_back(static_cast<double>(meter.elapsed().rounds));
       PiecewiseFn d0 = parallel_envelope(m, bfam, 4 * k, false);
       std::uint64_t bound = lambda_upper_bound(n, 4 * k);
       std::printf("%6zu %3d %14zu %14zu %18llu%s\n", n, k, a0.piece_count(),
@@ -60,7 +68,9 @@ void print_partial_envelope_bounds() {
                       ? ""
                       : "  VIOLATION");
     }
+    rows.push_back(std::move(row));
   }
+  print_table("Theorem 3.4 partial envelopes", rows);
 }
 
 void BM_Theorem34(benchmark::State& state) {

@@ -59,6 +59,17 @@ void print_comparison() {
     cube_native.push_back(static_cast<double>(native_cube));
     cube_sim.push_back(static_cast<double>(cm * cube_step));
   }
+  // Recorded rows: the paper's closing comparison as four pinned curves
+  // (tools/dyncg_bench_diff fails on any model-cost drift here).
+  print_table("Section 6 native vs PRAM simulation",
+              {Row{"envelope, mesh native", ns, mesh_native,
+                   "Theta(lambda^1/2(n,k))"},
+               Row{"envelope, mesh PRAM-sim", ns, mesh_sim,
+                   "Theta(n^1/2 log n)"},
+               Row{"envelope, hypercube native", ns, cube_native,
+                   "Theta(log^2 n)"},
+               Row{"envelope, hypercube PRAM-sim", ns, cube_sim,
+                   "Theta(log^3 n)"}});
   std::printf("\nwho wins at the largest n:\n");
   std::printf("  mesh:      native is %.1fx cheaper than simulating the "
               "idealized CM PRAM\n",

@@ -46,6 +46,16 @@
 namespace dyncg {
 namespace bench {
 
+namespace detail {
+// Captured at static initialization of the bench binary, so host_seconds
+// covers the whole run — including all the simulation work that happens
+// before the first print_table() call (the old lazy-singleton timestamp
+// missed everything before the first table and under-reported by orders of
+// magnitude on compute-heavy benches).
+inline const std::chrono::steady_clock::time_point process_start =
+    std::chrono::steady_clock::now();
+}  // namespace detail
+
 // Sort used by bench data generation and oracle checks.  With the
 // DYNCG_PARALLEL CMake option (and OpenMP present) this dispatches to the
 // libstdc++ parallel-mode sort when more than one host thread is requested;
@@ -117,6 +127,41 @@ class BenchReport {
     }
   }
 
+  // Revision stamp for the report.  The configure-time DYNCG_GIT_REV goes
+  // stale (or stays "-dirty") the moment the tree changes after cmake ran,
+  // so resolve the revision at run time when a git binary and the source
+  // tree are available, and only fall back to the baked-in stamp.
+  static std::string git_rev() {
+#if defined(DYNCG_SOURCE_DIR) && (defined(__unix__) || defined(__APPLE__))
+    auto run = [](const std::string& cmd) -> std::string {
+      std::string out;
+      if (std::FILE* p = popen(cmd.c_str(), "r")) {
+        char buf[128];
+        std::size_t got = std::fread(buf, 1, sizeof(buf) - 1, p);
+        if (pclose(p) == 0 && got > 0) out.assign(buf, got);
+      }
+      while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+        out.pop_back();
+      }
+      return out;
+    };
+    const std::string base = "git -C \"" DYNCG_SOURCE_DIR "\" ";
+    std::string rev = run(base + "rev-parse --short HEAD 2>/dev/null");
+    if (!rev.empty() && rev.find_first_not_of("0123456789abcdef") ==
+                            std::string::npos) {
+      if (!run(base + "status --porcelain 2>/dev/null").empty()) {
+        rev += "-dirty";
+      }
+      return rev;
+    }
+#endif
+#if defined(DYNCG_GIT_REV)
+    return DYNCG_GIT_REV;
+#else
+    return "unknown";
+#endif
+  }
+
   // Bench binary name with the "bench_" prefix stripped ("table1_ops").
   static std::string bench_name() {
 #if defined(__GLIBC__)
@@ -150,13 +195,8 @@ class BenchReport {
     w.value("dyncg-bench");
     w.key("name");
     w.value(bench_name());
-#if defined(DYNCG_GIT_REV)
     w.key("git_rev");
-    w.value(DYNCG_GIT_REV);
-#else
-    w.key("git_rev");
-    w.value("unknown");
-#endif
+    w.value(git_rev());
     w.key("config");
     w.begin_object();
     w.key("threads");
@@ -192,7 +232,7 @@ class BenchReport {
     w.end_object();
     w.key("host_seconds");
     w.value(std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          start_)
+                                          detail::process_start)
                 .count());
     w.key("unix_time");
     w.value(static_cast<std::int64_t>(std::chrono::duration_cast<std::chrono::seconds>(
@@ -248,8 +288,6 @@ class BenchReport {
   };
 
   std::vector<Table> tables_;
-  std::chrono::steady_clock::time_point start_ =
-      std::chrono::steady_clock::now();
   bool atexit_registered_ = false;
   bool written_ = false;
 };

@@ -91,10 +91,17 @@ PiecewiseFn parallel_envelope(Machine& m, const Family& fam, int s_bound,
   // level.
   std::vector<PiecewiseFn> strings(n2);
   m.charge_local(1);  // step 0: every PE forms its singleton piece list
+  // Singletons draw their piece buffers from the worker's pool, closing the
+  // acquire/release cycle: every level's combines release two buffers per
+  // one acquired, and this step takes the surplus back, so the pool's
+  // footprint stays at the high-water mark instead of growing by n buffers
+  // per envelope build.
   parallel_for(n, [&](std::size_t b) {
-    strings[b] = singleton_fn(fam, static_cast<int>(b));
-    DYNCG_ASSERT(strings[b].piece_count() <= base_w,
+    PiecewiseFn s{thread_piece_pool().acquire_pieces()};
+    singleton_into(fam, static_cast<int>(b), s);
+    DYNCG_ASSERT(s.piece_count() <= base_w,
                  "singleton pieces exceed the base string width");
+    strings[b] = std::move(s);
   });
 
   std::size_t width = base_w;
@@ -102,6 +109,9 @@ PiecewiseFn parallel_envelope(Machine& m, const Family& fam, int s_bound,
   // Adaptive mode: the effective string width the data currently occupies.
   std::size_t eff_width = base_w;
   EnvelopeRunStats st;
+  // Output slots for each level, allocated once: the first level sizes the
+  // buffer and every later level shrinks it in place.
+  std::vector<PiecewiseFn> next;
   while (count > 1) {
     TRACE_SPAN_COST("envelope.level", m.ledger());
     width *= 2;
@@ -113,16 +123,23 @@ PiecewiseFn parallel_envelope(Machine& m, const Family& fam, int s_bound,
       level_width = std::min(width, 2 * eff_width);
     }
     envelope_detail::charge_combine_level(m, level_width, s_bound);
-    std::vector<PiecewiseFn> next(count);
+    next.resize(count);
     // Strings are independent, so the per-string combines run across host
     // threads; the max-reduction merges per-worker results in index order
     // (charge_combine_level above already billed the whole level).
     std::size_t level_max = parallel_reduce<std::size_t>(
         count, std::size_t{1},
         [&](std::size_t& acc, std::size_t b) {
-          const PiecewiseFn& left = strings[2 * b];
-          const PiecewiseFn& right = strings[2 * b + 1];
-          PiecewiseFn combined = combine_extremum(fam, left, right, take_min);
+          PiecewiseFn& left = strings[2 * b];
+          PiecewiseFn& right = strings[2 * b + 1];
+          // Per-thread scratch pool: each combine reuses the worker's
+          // buffers, and the consumed input strings donate their piece
+          // buffers back for the next level (docs/PERFORMANCE.md).
+          PiecePool& pool = thread_piece_pool();
+          PiecewiseFn combined{pool.acquire_pieces()};
+          combine_extremum_into(fam, left, right, take_min, pool, combined);
+          pool.release_pieces(std::move(left.pieces));
+          pool.release_pieces(std::move(right.pieces));
           // One-piece-per-PE invariant (Lemma 2.4 / machine sizing).
           DYNCG_ASSERT(combined.piece_count() <= width,
                        "string overflow: machine sized below lambda(n,s)");

@@ -47,6 +47,9 @@ std::uint64_t route_all(const Topology& topo, std::vector<Packet> packets,
                         std::vector<long>* delivered_by_rank,
                         const FaultPlan* faults, FabricTelemetry* telemetry) {
   for (Packet& p : packets) p.baseline = topo.shortest_path(p.at, p.dst);
+  // Detour BFS results are reused across packets and rounds until the set
+  // of active fault windows changes.
+  RouteCache rcache(faults);
   std::uint64_t rounds = 0;
   unsigned stalled = 0;
   for (;;) {
@@ -69,8 +72,8 @@ std::uint64_t route_all(const Topology& topo, std::vector<Packet> packets,
       if (faults != nullptr && faults->link_down(p.at, nh, rounds)) {
         if (telemetry != nullptr) ++telemetry->fault_link_down_hits;
         faults_global::count_link_down_hit();
-        std::vector<std::size_t> path =
-            route_avoiding(topo, *faults, p.at, p.dst, rounds);
+        const std::vector<std::size_t>& path =
+            rcache.route(topo, p.at, p.dst, rounds);
         if (path.size() < 2) {
           // Transient partition: wait for the fault window to close.
           if (telemetry != nullptr) ++telemetry->fault_retries;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <iterator>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -21,6 +23,17 @@
 // charges pattern costs analytically, and the fabric tests replay the same
 // patterns hop by hop to verify those charges are achievable.
 //
+// Storage (docs/PERFORMANCE.md).  Staged words and delivered words live in
+// two flat arenas, chained per PE through `next` indices, with a per-PE
+// epoch stamp marking which round a chain belongs to.  A sparse round — a
+// handful of senders on a million-PE machine — costs O(words), not O(PEs):
+// deliver() walks only the PEs that staged something (sorted, so inboxes
+// fill in the same source-ascending order as the per-PE-vector layout this
+// replaces), idle() reads a live-word counter, and nothing ever iterates or
+// clears all n boxes.  Steady state allocates nothing: the arenas keep
+// their capacity across rounds and relay packets draw their path buffers
+// from a free list.
+//
 // Fault tolerance (machine/faults.hpp, docs/ROBUSTNESS.md).  With a
 // FaultPlan attached, the fabric degrades gracefully instead of losing
 // words:
@@ -33,17 +46,101 @@
 // (contention makes them wait, never abort) and are bounded by
 // kMaxFaultRetries waits each; exceeding the bound — or a fault that
 // partitions the machine — is unrecoverable and aborts with a diagnostic.
-// Every fault encountered and every recovery action is counted in the
-// attached FabricTelemetry.  A multi-hop recovery means a word can arrive
-// several deliver() calls after it was sent; callers that attached a plan
-// should drain with `while (!fab.idle()) fab.deliver();`.
+// Detour paths come from a RouteCache: the BFS reruns only when the set of
+// active fault windows changes, not per word per round.  Every fault
+// encountered and every recovery action is counted in the attached
+// FabricTelemetry.  A multi-hop recovery means a word can arrive several
+// deliver() calls after it was sent; callers that attached a plan should
+// drain with `while (!fab.idle()) fab.deliver();`.
 namespace dyncg {
+
+namespace fabric_detail {
+
+inline constexpr std::size_t kNil = std::numeric_limits<std::size_t>::max();
+
+template <class Msg>
+struct InboxEntry {
+  std::size_t next;
+  Msg msg;
+};
+
+}  // namespace fabric_detail
+
+// Read-only view of one PE's inbox for the round just delivered.  The
+// messages live in the owning fabric's arena, chained in arrival order; the
+// view (and its iterators) is invalidated by the next deliver().
+template <class Msg>
+class InboxView {
+  using Entry = fabric_detail::InboxEntry<Msg>;
+
+ public:
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Msg;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Msg*;
+    using reference = const Msg&;
+
+    const_iterator() = default;
+    const_iterator(const std::vector<Entry>* arena, std::size_t idx)
+        : arena_(arena), idx_(idx) {}
+
+    reference operator*() const { return (*arena_)[idx_].msg; }
+    pointer operator->() const { return &(*arena_)[idx_].msg; }
+    const_iterator& operator++() {
+      idx_ = (*arena_)[idx_].next;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    bool operator==(const const_iterator& o) const { return idx_ == o.idx_; }
+    bool operator!=(const const_iterator& o) const { return idx_ != o.idx_; }
+
+   private:
+    const std::vector<Entry>* arena_ = nullptr;
+    std::size_t idx_ = fabric_detail::kNil;
+  };
+
+  InboxView() = default;
+  InboxView(const std::vector<Entry>* arena, std::size_t head,
+            std::size_t count)
+      : arena_(arena), head_(head), count_(count) {}
+
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+  const Msg& front() const {
+    DYNCG_ASSERT(count_ > 0, "front() of an empty inbox");
+    return (*arena_)[head_].msg;
+  }
+  // O(i) chain walk — inboxes hold at most a PE's degree worth of words.
+  const Msg& operator[](std::size_t i) const {
+    DYNCG_ASSERT(i < count_, "inbox index out of range");
+    std::size_t idx = head_;
+    while (i-- > 0) idx = (*arena_)[idx].next;
+    return (*arena_)[idx].msg;
+  }
+  const_iterator begin() const {
+    return const_iterator(arena_, count_ == 0 ? fabric_detail::kNil : head_);
+  }
+  const_iterator end() const {
+    return const_iterator(arena_, fabric_detail::kNil);
+  }
+
+ private:
+  const std::vector<Entry>* arena_ = nullptr;
+  std::size_t head_ = fabric_detail::kNil;
+  std::size_t count_ = 0;
+};
 
 template <class Msg>
 class Fabric {
  public:
   explicit Fabric(const Topology& topo, CostLedger* ledger = nullptr)
-      : topo_(topo), ledger_(ledger), inbox_(topo.size()), staged_(topo.size()) {
+      : topo_(topo), ledger_(ledger) {
     // Flatten the adjacency into sorted per-node neighbor slices so send()
     // can locate a directed link in O(log degree) instead of scanning the
     // staged list (which made a full-degree round O(degree^2) per node).
@@ -56,6 +153,13 @@ class Fabric {
       link_to_.insert(link_to_.end(), nb.begin(), nb.end());
     }
     link_stamp_.assign(link_to_.size(), 0);
+    staged_head_.assign(n, fabric_detail::kNil);
+    staged_tail_.assign(n, fabric_detail::kNil);
+    staged_epoch_.assign(n, 0);
+    inbox_head_.assign(n, fabric_detail::kNil);
+    inbox_tail_.assign(n, fabric_detail::kNil);
+    inbox_count_.assign(n, 0);
+    inbox_epoch_.assign(n, 0);
   }
 
   const Topology& topology() const { return topo_; }
@@ -72,17 +176,16 @@ class Fabric {
 
   // Attach a fault schedule (nullptr to detach).  The plan is consulted by
   // round number from the fabric's own clock; attach before the first send.
-  void set_fault_plan(const FaultPlan* plan) { faults_ = plan; }
+  void set_fault_plan(const FaultPlan* plan) {
+    faults_ = plan;
+    route_cache_.attach(plan);
+  }
   const FaultPlan* fault_plan() const { return faults_; }
+  const RouteCache& route_cache() const { return route_cache_; }
 
   // No word is staged or in recovery flight: safe to stop delivering.
-  bool idle() const {
-    if (!transits_.empty()) return false;
-    for (const auto& box : staged_) {
-      if (!box.empty()) return false;
-    }
-    return true;
-  }
+  // O(1): the staged arena tracks its live-word count.
+  bool idle() const { return transits_.empty() && staged_arena_.empty(); }
   std::size_t transits_in_flight() const { return transits_.size(); }
 
   // Stage a word from node `from` to adjacent node `to` for this round.
@@ -103,8 +206,8 @@ class Fabric {
       // packet starts moving in this same round, so a one-hop-longer
       // detour costs exactly its extra hops.
       count_link_down_hit();
-      std::vector<std::size_t> path =
-          route_avoiding(topo_, *faults_, from, to, rounds_);
+      const std::vector<std::size_t>& path =
+          route_cache_.route(topo_, from, to, rounds_);
       if (path.empty()) {
         char buf[160];
         std::snprintf(buf, sizeof(buf),
@@ -113,8 +216,10 @@ class Fabric {
                       from, to, static_cast<unsigned long long>(rounds_));
         DYNCG_ASSERT(false, buf);
       }
+      std::vector<std::size_t> owned = acquire_path();
+      owned.assign(path.begin(), path.end());
       transits_.push_back(
-          Transit{std::move(path), 0, rounds_, 0, std::move(m)});
+          Transit{std::move(owned), 0, rounds_, 0, std::move(m)});
       return;
     }
     // The stamp records the round (plus one, so 0 means "never") in which
@@ -134,13 +239,27 @@ class Fabric {
       telemetry_->record_send(
           static_cast<std::size_t>(it - link_to_.begin()));
     }
-    staged_[from].emplace_back(to, std::move(m));
+    // Append to the sender's staged chain in the arena.  The epoch stamp
+    // (round + 1, so 0 means "never") tells a fresh round from a stale
+    // chain without any clearing.
+    const std::uint64_t cur = rounds_ + 1;
+    const std::size_t idx = staged_arena_.size();
+    staged_arena_.push_back(StagedEntry{to, fabric_detail::kNil, std::move(m)});
+    if (staged_epoch_[from] != cur) {
+      staged_epoch_[from] = cur;
+      staged_head_[from] = idx;
+      staged_sources_.push_back(from);
+    } else {
+      staged_arena_[staged_tail_[from]].next = idx;
+    }
+    staged_tail_[from] = idx;
   }
 
   // End of round: deliver every staged word, advance every relay packet one
   // hop, and advance the clock.
   void deliver() {
-    for (auto& box : inbox_) box.clear();
+    inbox_arena_.clear();
+    inbox_epoch_current_ = rounds_ + 1;
     std::uint64_t moved = 0;
     // Relay packets move first (in creation order — deterministic), so a
     // detour packet claims its link for this round before the round ends.
@@ -155,32 +274,39 @@ class Fabric {
       }
     }
     transits_.resize(kept);
-    for (std::size_t v = 0; v < staged_.size(); ++v) {
-      for (auto& s : staged_[v]) {
-        if (faults_ != nullptr && faults_->drop_word(v, s.first, rounds_)) {
+    // Walk only the PEs that staged this round, in ascending id — the same
+    // order the old dense scan visited them, so inbox contents are
+    // byte-identical.
+    std::sort(staged_sources_.begin(), staged_sources_.end());
+    for (std::size_t v : staged_sources_) {
+      for (std::size_t i = staged_head_[v]; i != fabric_detail::kNil;) {
+        StagedEntry& s = staged_arena_[i];
+        i = s.next;
+        if (faults_ != nullptr && faults_->drop_word(v, s.to, rounds_)) {
           // Lost in flight: the sender notices the missing ack and
           // retransmits next round.
           count_word_dropped();
           count_retry();
-          transits_.push_back(Transit{{v, s.first}, 0, rounds_ + 1, 1,
-                                      std::move(s.second)});
+          transits_.push_back(Transit{two_hop_path(v, s.to), 0, rounds_ + 1,
+                                      1, std::move(s.msg)});
           ++moved;  // the word did traverse the link before being lost
           continue;
         }
-        if (faults_ != nullptr && faults_->pe_down(s.first, rounds_)) {
+        if (faults_ != nullptr && faults_->pe_down(s.to, rounds_)) {
           // Receiver is down: hold the word at the sender and retry until
           // the PE recovers.
           count_pe_down_hit();
           count_retry();
-          transits_.push_back(Transit{{v, s.first}, 0, rounds_ + 1, 1,
-                                      std::move(s.second)});
+          transits_.push_back(Transit{two_hop_path(v, s.to), 0, rounds_ + 1,
+                                      1, std::move(s.msg)});
           continue;
         }
-        inbox_[s.first].push_back(std::move(s.second));
+        push_inbox(s.to, std::move(s.msg));
         ++moved;
       }
-      staged_[v].clear();
     }
+    staged_sources_.clear();
+    staged_arena_.clear();
     ++rounds_;
     if (telemetry_ != nullptr) telemetry_->record_round(moved);
     if (ledger_ != nullptr) {
@@ -189,9 +315,18 @@ class Fabric {
     }
   }
 
-  const std::vector<Msg>& inbox(std::size_t v) const { return inbox_[v]; }
+  InboxView<Msg> inbox(std::size_t v) const {
+    if (inbox_epoch_[v] != inbox_epoch_current_) return InboxView<Msg>();
+    return InboxView<Msg>(&inbox_arena_, inbox_head_[v], inbox_count_[v]);
+  }
 
  private:
+  struct StagedEntry {
+    std::size_t to;
+    std::size_t next;
+    Msg msg;
+  };
+
   // A word in recovery flight: a path (recomputed if faults shift under
   // it), the hop index reached so far, the first round it may move again,
   // and how many times it has waited or been retransmitted.
@@ -202,6 +337,39 @@ class Fabric {
     unsigned retries;
     Msg msg;
   };
+
+  // Path-buffer free list: relay packets recycle their hop vectors.
+  std::vector<std::size_t> acquire_path() {
+    if (path_pool_.empty()) return {};
+    std::vector<std::size_t> p = std::move(path_pool_.back());
+    path_pool_.pop_back();
+    p.clear();
+    return p;
+  }
+  void release_path(std::vector<std::size_t>&& p) {
+    path_pool_.push_back(std::move(p));
+  }
+  std::vector<std::size_t> two_hop_path(std::size_t from, std::size_t to) {
+    std::vector<std::size_t> p = acquire_path();
+    p.push_back(from);
+    p.push_back(to);
+    return p;
+  }
+
+  void push_inbox(std::size_t dst, Msg&& m) {
+    const std::size_t idx = inbox_arena_.size();
+    inbox_arena_.push_back(
+        fabric_detail::InboxEntry<Msg>{fabric_detail::kNil, std::move(m)});
+    if (inbox_epoch_[dst] != inbox_epoch_current_) {
+      inbox_epoch_[dst] = inbox_epoch_current_;
+      inbox_head_[dst] = idx;
+      inbox_count_[dst] = 0;
+    } else {
+      inbox_arena_[inbox_tail_[dst]].next = idx;
+    }
+    inbox_tail_[dst] = idx;
+    ++inbox_count_[dst];
+  }
 
   void count_link_down_hit() {
     if (telemetry_ != nullptr) ++telemetry_->fault_link_down_hits;
@@ -248,13 +416,13 @@ class Fabric {
     // Faults may have shifted since the path was computed.
     if (faults_->link_down(at, next, rounds_)) {
       count_link_down_hit();
-      std::vector<std::size_t> path =
-          route_avoiding(topo_, *faults_, at, dst, rounds_);
+      const std::vector<std::size_t>& path =
+          route_cache_.route(topo_, at, dst, rounds_);
       if (path.empty()) {
         wait_transit(t);  // transient partition: retry until it heals
         return false;
       }
-      t.path = std::move(path);
+      t.path.assign(path.begin(), path.end());
       t.hop = 0;
       next = t.path[1];
     }
@@ -285,7 +453,8 @@ class Fabric {
     ++t.hop;
     ++*moved;
     if (t.hop + 1 == t.path.size()) {
-      inbox_[dst].push_back(std::move(t.msg));
+      push_inbox(dst, std::move(t.msg));
+      release_path(std::move(t.path));
       return true;
     }
     t.ready_round = rounds_ + 1;
@@ -296,10 +465,30 @@ class Fabric {
   CostLedger* ledger_;
   FabricTelemetry* telemetry_ = nullptr;
   const FaultPlan* faults_ = nullptr;
+  RouteCache route_cache_;
   std::uint64_t rounds_ = 0;
-  std::vector<std::vector<Msg>> inbox_;
-  std::vector<std::vector<std::pair<std::size_t, Msg>>> staged_;
+
+  // Staged words: flat arena of per-sender chains, cleared (capacity kept)
+  // each deliver().  staged_epoch_[v] == rounds_ + 1 marks a live chain.
+  std::vector<StagedEntry> staged_arena_;
+  std::vector<std::size_t> staged_head_;
+  std::vector<std::size_t> staged_tail_;
+  std::vector<std::uint64_t> staged_epoch_;
+  std::vector<std::size_t> staged_sources_;  // senders this round, unsorted
+
+  // Delivered words: flat arena of per-destination chains, valid until the
+  // next deliver().  inbox_epoch_[v] == inbox_epoch_current_ marks a
+  // non-empty inbox.
+  std::vector<fabric_detail::InboxEntry<Msg>> inbox_arena_;
+  std::vector<std::size_t> inbox_head_;
+  std::vector<std::size_t> inbox_tail_;
+  std::vector<std::size_t> inbox_count_;
+  std::vector<std::uint64_t> inbox_epoch_;
+  std::uint64_t inbox_epoch_current_ = 0;
+
   std::vector<Transit> transits_;  // words in recovery flight
+  std::vector<std::vector<std::size_t>> path_pool_;  // recycled hop buffers
+
   // CSR adjacency (sorted neighbors per node) + last-staged-round stamps,
   // one per directed link.
   std::vector<std::size_t> link_to_;

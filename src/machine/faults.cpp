@@ -349,6 +349,52 @@ std::size_t remap_spare(const Topology& topo, const FaultPlan& plan,
   return kUnreachable;
 }
 
+void RouteCache::attach(const FaultPlan* plan) {
+  plan_ = plan;
+  boundaries_.clear();
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+  if (plan_ == nullptr) return;
+  for (const FaultEvent& e : plan_->events()) {
+    if (e.kind == FaultEvent::Kind::kWordDrop) continue;  // never routes
+    boundaries_.push_back(e.from_round);
+    if (e.to_round != FaultEvent::kForever) {
+      boundaries_.push_back(e.to_round + 1);
+    }
+  }
+  std::sort(boundaries_.begin(), boundaries_.end());
+  boundaries_.erase(std::unique(boundaries_.begin(), boundaries_.end()),
+                    boundaries_.end());
+}
+
+std::uint64_t RouteCache::epoch_of(std::uint64_t round) const {
+  return static_cast<std::uint64_t>(
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), round) -
+      boundaries_.begin());
+}
+
+const std::vector<std::size_t>& RouteCache::route(const Topology& topo,
+                                                  std::size_t from,
+                                                  std::size_t to,
+                                                  std::uint64_t round) {
+  DYNCG_ASSERT(plan_ != nullptr, "RouteCache::route without a plan attached");
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(from) << 32) | static_cast<std::uint64_t>(to);
+  // Epoch 0 is a valid segment, so shift by one: stored epoch 0 means
+  // "never computed".
+  const std::uint64_t epoch = epoch_of(round) + 1;
+  Entry& e = entries_[key];
+  if (e.epoch == epoch) {
+    ++hits_;
+    return e.path;
+  }
+  ++misses_;
+  e.path = route_avoiding(topo, *plan_, from, to, round);
+  e.epoch = epoch;
+  return e.path;
+}
+
 namespace faults_global {
 namespace {
 struct Counters {

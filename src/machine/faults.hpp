@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "support/status.hpp"
@@ -135,6 +136,55 @@ std::size_t detour_extra_rounds(const Topology& topo, const FaultPlan& plan,
 // is down.
 std::size_t remap_spare(const Topology& topo, const FaultPlan& plan,
                         std::size_t down_node, std::uint64_t round);
+
+// Memoized route_avoiding.  The BFS result depends on the round only through
+// the *set of active link/pe events*, and that set changes only at event
+// window boundaries; between two consecutive boundaries every round routes
+// identically.  The cache maps a round to its *fault epoch* (the index of
+// the boundary segment containing it — drop events are excluded because
+// they never influence routing) and keys each (from, to) pair's cached path
+// by that epoch, so invalidation is automatic: a lookup whose stored epoch
+// is stale recomputes.  Thread-confined, like the Fabric that owns it.
+//
+// The cache is a pure memoization: route() returns exactly what
+// route_avoiding would, and neither touches telemetry nor the global fault
+// counters (those are charged by the caller, per fault event, exactly as
+// before — a cache hit must not change any observable count).
+class RouteCache {
+ public:
+  RouteCache() = default;
+  explicit RouteCache(const FaultPlan* plan) { attach(plan); }
+
+  // Rebind to a plan (nullptr detaches).  Drops every cached path and
+  // recomputes the epoch boundaries.
+  void attach(const FaultPlan* plan);
+  const FaultPlan* plan() const { return plan_; }
+
+  // Same contract as route_avoiding (which it calls on a miss).  The
+  // returned reference is invalidated by the next route() or attach() call.
+  const std::vector<std::size_t>& route(const Topology& topo,
+                                        std::size_t from, std::size_t to,
+                                        std::uint64_t round);
+
+  // The fault epoch containing `round` (segment index among the sorted
+  // window boundaries of link/pe events).
+  std::uint64_t epoch_of(std::uint64_t round) const;
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::uint64_t epoch = 0;
+    std::vector<std::size_t> path;
+  };
+
+  const FaultPlan* plan_ = nullptr;
+  std::vector<std::uint64_t> boundaries_;  // sorted rounds where routing changes
+  std::unordered_map<std::uint64_t, Entry> entries_;  // key: from << 32 | to
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
 
 // Process-wide fault counters, mirrored from every FabricTelemetry /
 // Machine that handles a fault.  They feed the bench reports'

@@ -36,8 +36,11 @@ void Machine::apply_fault_penalty(std::uint64_t r0, std::uint64_t r1) {
     switch (e.kind) {
       case FaultEvent::Kind::kLinkDown: {
         std::uint64_t round = e.from_round > r0 ? e.from_round : r0;
-        std::size_t extra =
-            detour_extra_rounds(*topo_, *faults_, e.a, e.b, round);
+        // Cached detour: same result as detour_extra_rounds, but the BFS
+        // reruns only when the active fault set changes.
+        const std::vector<std::size_t>& path =
+            route_cache_.route(*topo_, e.a, e.b, round);
+        std::size_t extra = path.empty() ? kUnreachable : path.size() - 2;
         if (extra == kUnreachable) {
           char buf[160];
           std::snprintf(buf, sizeof(buf),

@@ -57,6 +57,7 @@ class Machine {
     faults_ = (plan != nullptr && !plan->empty()) ? plan : nullptr;
     remapped_events_.assign(
         faults_ != nullptr ? faults_->events().size() : 0, false);
+    route_cache_.attach(faults_);
   }
   const FaultPlan* fault_plan() const { return faults_; }
 
@@ -102,6 +103,9 @@ class Machine {
   CostLedger ledger_;
   MachineTelemetry telemetry_;
   const FaultPlan* faults_ = nullptr;
+  // Memoizes the per-event detour BFS across pattern charges (the detour
+  // for a given event changes only when the active fault set does).
+  RouteCache route_cache_;
   // One flag per plan event: has this machine already paid the one-time
   // state migration for that PE-down event?
   std::vector<bool> remapped_events_;

@@ -15,17 +15,54 @@ namespace dyncg {
 
 // Lower envelope of the given member ids.  Pass take_min = false for the
 // upper envelope (maximum function).
+//
+// The halving recursion is run as an explicit post-order walk over index
+// ranges of `ids` — the merge tree (and therefore the output, bit for bit)
+// is the classic divide-and-conquer of [Atallah 1985], but no per-level
+// id-vector copies are made and every intermediate envelope's piece buffer
+// is recycled through the calling thread's PiecePool, so a steady-state
+// envelope build allocates only for high-water-mark growth.
 template <class Family>
 PiecewiseFn envelope_serial(const Family& fam, const std::vector<int>& ids,
                             bool take_min = true) {
   if (ids.empty()) return PiecewiseFn{};
-  if (ids.size() == 1) return singleton_fn(fam, ids[0]);
-  std::size_t half = ids.size() / 2;
-  std::vector<int> left(ids.begin(), ids.begin() + static_cast<long>(half));
-  std::vector<int> right(ids.begin() + static_cast<long>(half), ids.end());
-  PiecewiseFn a = envelope_serial(fam, left, take_min);
-  PiecewiseFn b = envelope_serial(fam, right, take_min);
-  return combine_extremum(fam, a, b, take_min);
+  PiecePool& pool = thread_piece_pool();
+  // Work stack of [lo, hi) ranges; `merge` frames pop the top two results.
+  struct Frame {
+    std::size_t lo, hi;
+    bool merge;
+  };
+  std::vector<Frame> work;
+  std::vector<PiecewiseFn> results;
+  work.push_back(Frame{0, ids.size(), false});
+  while (!work.empty()) {
+    Frame f = work.back();
+    work.pop_back();
+    if (f.merge) {
+      PiecewiseFn right = std::move(results.back());
+      results.pop_back();
+      PiecewiseFn left = std::move(results.back());
+      results.pop_back();
+      PiecewiseFn combined{pool.acquire_pieces()};
+      combine_extremum_into(fam, left, right, take_min, pool, combined);
+      pool.release_pieces(std::move(left.pieces));
+      pool.release_pieces(std::move(right.pieces));
+      results.push_back(std::move(combined));
+      continue;
+    }
+    if (f.hi - f.lo == 1) {
+      PiecewiseFn leaf{pool.acquire_pieces()};
+      singleton_into(fam, ids[f.lo], leaf);
+      results.push_back(std::move(leaf));
+      continue;
+    }
+    std::size_t mid = f.lo + (f.hi - f.lo) / 2;
+    // Left is evaluated first (pushed last), matching the recursion order.
+    work.push_back(Frame{f.lo, f.hi, true});
+    work.push_back(Frame{mid, f.hi, false});
+    work.push_back(Frame{f.lo, mid, false});
+  }
+  return std::move(results.back());
 }
 
 // Envelope over the entire family.

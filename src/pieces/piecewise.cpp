@@ -63,8 +63,15 @@ int active_id(const PiecewiseFn& fn, std::size_t& cursor, double a) {
 
 }  // namespace
 
-std::vector<Cell> overlay(const PiecewiseFn& f, const PiecewiseFn& g) {
-  std::vector<double> events;
+PiecePool& thread_piece_pool() {
+  thread_local PiecePool pool;
+  return pool;
+}
+
+void overlay_into(const PiecewiseFn& f, const PiecewiseFn& g,
+                  PiecePool& pool) {
+  std::vector<double>& events = pool.events;
+  events.clear();
   auto push_events = [&events](const PiecewiseFn& fn) {
     for (const Piece& p : fn.pieces) {
       events.push_back(p.iv.lo);
@@ -77,7 +84,8 @@ std::vector<Cell> overlay(const PiecewiseFn& f, const PiecewiseFn& g) {
   events.erase(std::unique(events.begin(), events.end()), events.end());
   events.push_back(kInfinity);
 
-  std::vector<Cell> cells;
+  std::vector<Cell>& cells = pool.cells;
+  cells.clear();
   std::size_t fc = 0, gc = 0;
   for (std::size_t i = 0; i + 1 < events.size(); ++i) {
     double a = events[i], b = events[i + 1];
@@ -92,7 +100,12 @@ std::vector<Cell> overlay(const PiecewiseFn& f, const PiecewiseFn& g) {
       cells.push_back(Cell{Interval{a, b}, fa, ga});
     }
   }
-  return cells;
+}
+
+std::vector<Cell> overlay(const PiecewiseFn& f, const PiecewiseFn& g) {
+  PiecePool& pool = thread_piece_pool();
+  overlay_into(f, g, pool);
+  return pool.cells;
 }
 
 void coalesce(PiecewiseFn& fn) {
@@ -114,14 +127,22 @@ bool PolyFamily::identical(int a, int b) const {
 
 std::vector<double> PolyFamily::crossings(int a, int b,
                                           const Interval& iv) const {
-  RootFindResult rr = crossing_times(members_[static_cast<std::size_t>(a)],
-                                     members_[static_cast<std::size_t>(b)],
-                                     iv.lo);
   std::vector<double> out;
+  crossings_into(a, b, iv, out);
+  return out;
+}
+
+void PolyFamily::crossings_into(int a, int b, const Interval& iv,
+                                std::vector<double>& out) const {
+  // Thread-confined scratch: no allocations once the buffers are warm.
+  thread_local RootFindResult rr;
+  crossing_times_into(members_[static_cast<std::size_t>(a)],
+                      members_[static_cast<std::size_t>(b)], iv.lo,
+                      thread_root_scratch(), rr);
+  out.clear();
   for (double r : rr.roots) {
     if (r > iv.lo && r < iv.hi) out.push_back(r);
   }
-  return out;
 }
 
 // --- PiecewisePoly ---------------------------------------------------------

@@ -97,6 +97,27 @@ Polynomial Polynomial::operator*(const Polynomial& o) const {
   return Polynomial(std::move(c));
 }
 
+void Polynomial::assign_difference(const Polynomial& a, const Polynomial& b) {
+  DYNCG_ASSERT(&a != this && &b != this, "assign_difference: aliased operand");
+  coeffs_.assign(std::max(a.coeffs_.size(), b.coeffs_.size()), 0.0);
+  for (std::size_t i = 0; i < a.coeffs_.size(); ++i) coeffs_[i] += a.coeffs_[i];
+  for (std::size_t i = 0; i < b.coeffs_.size(); ++i) coeffs_[i] -= b.coeffs_[i];
+  trim();
+}
+
+void Polynomial::assign_derivative(const Polynomial& p) {
+  DYNCG_ASSERT(&p != this, "assign_derivative: aliased operand");
+  if (p.coeffs_.size() <= 1) {
+    coeffs_.clear();
+    return;
+  }
+  coeffs_.assign(p.coeffs_.size() - 1, 0.0);
+  for (std::size_t i = 1; i < p.coeffs_.size(); ++i) {
+    coeffs_[i - 1] = p.coeffs_[i] * static_cast<double>(i);
+  }
+  trim();
+}
+
 Polynomial Polynomial::operator*(double s) const {
   std::vector<double> c = coeffs_;
   for (double& x : c) x *= s;

@@ -54,6 +54,13 @@ class Polynomial {
   Polynomial& operator-=(const Polynomial& o) { return *this = *this - o; }
   Polynomial& operator*=(const Polynomial& o) { return *this = *this * o; }
 
+  // Scratch-reusing recomputations for the pooled hot paths (roots.hpp's
+  // RootScratch): identical results to `a - b` / `p.derivative()`, but the
+  // coefficient storage is reused in place.  Neither argument may alias
+  // *this.
+  void assign_difference(const Polynomial& a, const Polynomial& b);
+  void assign_derivative(const Polynomial& p);
+
   // Exact structural equality of trimmed coefficient vectors.
   bool operator==(const Polynomial& o) const { return coeffs_ == o.coeffs_; }
   bool operator!=(const Polynomial& o) const { return !(*this == o); }

@@ -19,7 +19,10 @@ double magnitude_scale(const Polynomial& p) {
 }
 
 // Bisection on [lo, hi] where p(lo) and p(hi) have strictly opposite signs.
-double bisect(const Polynomial& p, double lo, double hi) {
+// `dp` is p's derivative, precomputed by the caller (the recursion already
+// needed it for the critical points).
+double bisect(const Polynomial& p, const Polynomial& dp, double lo,
+              double hi) {
   double flo = p(lo);
   for (int it = 0; it < kBisectIters && hi - lo > kRootTol * (1 + std::fabs(lo) + std::fabs(hi)); ++it) {
     double mid = 0.5 * (lo + hi);
@@ -34,7 +37,6 @@ double bisect(const Polynomial& p, double lo, double hi) {
   }
   double r = 0.5 * (lo + hi);
   // Newton polish (guarded: keep within the bracket).
-  Polynomial dp = p.derivative();
   for (int it = 0; it < 4; ++it) {
     double d = dp(r);
     if (d == 0.0) break;
@@ -46,26 +48,31 @@ double bisect(const Polynomial& p, double lo, double hi) {
   return r;
 }
 
-void dedup_sorted(std::vector<double>& v, double tol) {
-  std::sort(v.begin(), v.end());
-  std::vector<double> out;
-  for (double x : v) {
-    if (out.empty() || x - out.back() > tol) out.push_back(x);
+// Sort v[start..] and drop in place any element within tol of its kept
+// predecessor (same keep rule as the old copy-out dedup).
+void dedup_sorted_tail(std::vector<double>& v, std::size_t start, double tol) {
+  std::sort(v.begin() + static_cast<std::ptrdiff_t>(start), v.end());
+  std::size_t w = start;
+  for (std::size_t i = start; i < v.size(); ++i) {
+    if (w == start || v[i] - v[w - 1] > tol) v[w++] = v[i];
   }
-  v.swap(out);
+  v.resize(w);
 }
 
 // Core recursion: distinct roots of p on [lo, hi], assuming p not identically
-// zero.  `scale` is the magnitude of the original polynomial's coefficients.
-std::vector<double> roots_rec(const Polynomial& p, double lo, double hi,
-                              double scale) {
-  std::vector<double> out;
+// zero, appended to `out`.  `scale` is the magnitude of the original
+// polynomial's coefficients; `depth` indexes the scratch level (the
+// derivative chain).
+void roots_rec_into(const Polynomial& p, double lo, double hi, double scale,
+                    RootScratch& scratch, std::size_t depth,
+                    std::vector<double>& out) {
+  const std::size_t start = out.size();
   int deg = p.degree();
-  if (deg <= 0) return out;
+  if (deg <= 0) return;
   if (deg == 1) {
     double r = -p.coefficient(0) / p.coefficient(1);
     if (r >= lo && r <= hi) out.push_back(r);
-    return out;
+    return;
   }
   if (deg == 2) {
     double a = p.coefficient(2), b = p.coefficient(1), c = p.coefficient(0);
@@ -85,33 +92,42 @@ std::vector<double> roots_rec(const Polynomial& p, double lo, double hi,
       double r = -b / (2 * a);
       if (r >= lo && r <= hi) out.push_back(r);
     }
-    return out;
+    return;
   }
   // General case: critical points split [lo, hi] into monotone intervals.
-  std::vector<double> crit = roots_rec(p.derivative(), lo, hi, scale);
-  std::vector<double> knots;
-  knots.push_back(lo);
-  for (double c : crit) {
-    if (c > knots.back()) knots.push_back(c);
+  // The wrappers pre-size the level chain to the top-level degree, so this
+  // reference stays valid across the recursive call below.
+  RootScratch::Level& lv = scratch.levels[depth];
+  lv.deriv.assign_derivative(p);
+  lv.crit.clear();
+  roots_rec_into(lv.deriv, lo, hi, scale, scratch, depth + 1, lv.crit);
+  lv.knots.clear();
+  lv.knots.push_back(lo);
+  for (double c : lv.crit) {
+    if (c > lv.knots.back()) lv.knots.push_back(c);
   }
-  if (hi > knots.back()) knots.push_back(hi);
+  if (hi > lv.knots.back()) lv.knots.push_back(hi);
 
   double tol = kAbsTol * scale;
-  for (std::size_t i = 0; i + 1 < knots.size(); ++i) {
-    double a = knots[i], b = knots[i + 1];
+  for (std::size_t i = 0; i + 1 < lv.knots.size(); ++i) {
+    double a = lv.knots[i], b = lv.knots[i + 1];
     double fa = p(a), fb = p(b);
     bool za = std::fabs(fa) <= tol, zb = std::fabs(fb) <= tol;
     if (za) out.push_back(a);
-    if (zb && i + 2 == knots.size()) out.push_back(b);
+    if (zb && i + 2 == lv.knots.size()) out.push_back(b);
     if (!za && !zb && (fa < 0) != (fb < 0)) {
-      out.push_back(bisect(p, a, b));
+      out.push_back(bisect(p, lv.deriv, a, b));
     }
   }
-  dedup_sorted(out, kRootTol * (1 + std::fabs(lo) + std::fabs(hi)));
-  return out;
+  dedup_sorted_tail(out, start, kRootTol * (1 + std::fabs(lo) + std::fabs(hi)));
 }
 
 }  // namespace
+
+RootScratch& thread_root_scratch() {
+  thread_local RootScratch scratch;
+  return scratch;
+}
 
 int robust_sign(const Polynomial& p, double t) {
   double v = p(t);
@@ -121,31 +137,55 @@ int robust_sign(const Polynomial& p, double t) {
   return v > 0 ? 1 : -1;
 }
 
-RootFindResult real_roots(const Polynomial& p, double lo, double hi) {
-  RootFindResult res;
+void real_roots_into(const Polynomial& p, double lo, double hi,
+                     RootScratch& scratch, RootFindResult& out) {
+  out.identically_zero = false;
+  out.roots.clear();
   if (p.is_zero()) {
-    res.identically_zero = true;
-    return res;
+    out.identically_zero = true;
+    return;
   }
   DYNCG_ASSERT(lo <= hi, "real_roots: empty interval");
-  res.roots = roots_rec(p, lo, hi, magnitude_scale(p));
+  scratch.level(static_cast<std::size_t>(p.degree()));
+  roots_rec_into(p, lo, hi, magnitude_scale(p), scratch, 0, out.roots);
+}
+
+void real_roots_from_into(const Polynomial& p, double t0, RootScratch& scratch,
+                          RootFindResult& out) {
+  out.identically_zero = false;
+  out.roots.clear();
+  if (p.is_zero()) {
+    out.identically_zero = true;
+    return;
+  }
+  double hi = std::max(t0 + 1.0, p.root_bound() + 1.0);
+  scratch.level(static_cast<std::size_t>(p.degree()));
+  roots_rec_into(p, t0, hi, magnitude_scale(p), scratch, 0, out.roots);
+}
+
+void crossing_times_into(const Polynomial& f, const Polynomial& g, double t0,
+                         RootScratch& scratch, RootFindResult& out) {
+  scratch.diff.assign_difference(f, g);
+  real_roots_from_into(scratch.diff, t0, scratch, out);
+}
+
+RootFindResult real_roots(const Polynomial& p, double lo, double hi) {
+  RootFindResult res;
+  real_roots_into(p, lo, hi, thread_root_scratch(), res);
   return res;
 }
 
 RootFindResult real_roots_from(const Polynomial& p, double t0) {
   RootFindResult res;
-  if (p.is_zero()) {
-    res.identically_zero = true;
-    return res;
-  }
-  double hi = std::max(t0 + 1.0, p.root_bound() + 1.0);
-  res.roots = roots_rec(p, t0, hi, magnitude_scale(p));
+  real_roots_from_into(p, t0, thread_root_scratch(), res);
   return res;
 }
 
 RootFindResult crossing_times(const Polynomial& f, const Polynomial& g,
                               double t0) {
-  return real_roots_from(f - g, t0);
+  RootFindResult res;
+  crossing_times_into(f, g, t0, thread_root_scratch(), res);
+  return res;
 }
 
 }  // namespace dyncg

@@ -21,6 +21,27 @@ struct RootFindResult {
   std::vector<double> roots;
 };
 
+// Reusable buffers for the derivative-recursion root isolation.  One level
+// per recursion depth (the derivative chain), plus the difference polynomial
+// for crossing_times.  Thread-confined; grab the calling thread's instance
+// with thread_root_scratch().
+struct RootScratch {
+  struct Level {
+    Polynomial deriv;
+    std::vector<double> crit;
+    std::vector<double> knots;
+  };
+  Polynomial diff;
+  std::vector<Level> levels;
+
+  Level& level(std::size_t depth) {
+    if (depth >= levels.size()) levels.resize(depth + 1);
+    return levels[depth];
+  }
+};
+
+RootScratch& thread_root_scratch();
+
 // All distinct real roots of p in the closed interval [lo, hi].
 RootFindResult real_roots(const Polynomial& p, double lo, double hi);
 
@@ -36,5 +57,16 @@ int robust_sign(const Polynomial& p, double t);
 // polynomials are identical, `identically_zero` is set.
 RootFindResult crossing_times(const Polynomial& f, const Polynomial& g,
                               double t0 = 0.0);
+
+// Allocation-free variants of the above for the envelope hot path: results
+// land in `out` (cleared first), every intermediate lives in `scratch`, and
+// the arithmetic is performed in exactly the same order as the allocating
+// versions, so the roots are bit-identical.
+void real_roots_into(const Polynomial& p, double lo, double hi,
+                     RootScratch& scratch, RootFindResult& out);
+void real_roots_from_into(const Polynomial& p, double t0, RootScratch& scratch,
+                          RootFindResult& out);
+void crossing_times_into(const Polynomial& f, const Polynomial& g, double t0,
+                         RootScratch& scratch, RootFindResult& out);
 
 }  // namespace dyncg

@@ -1,0 +1,227 @@
+// dyncg_bench_diff — perf-regression gate over BENCH_<name>.json reports.
+//
+//   dyncg_bench_diff [--host-tolerance R] BASELINE CURRENT
+//
+// Compares a freshly produced bench report against a committed baseline
+// (baseline/BENCH_<name>.json) and exits non-zero on drift:
+//
+//   * model-cost figures — every table title, row label, claim, and
+//     (n, rounds) point — must match the baseline EXACTLY.  The simulated
+//     round counts are deterministic for every DYNCG_THREADS and every
+//     recoverable fault plan (docs/PARALLELISM.md, docs/ROBUSTNESS.md), so
+//     any difference is a real change to the machine model or the
+//     algorithms and must be acknowledged by refreshing the baseline;
+//   * fault counters (link_down_hits, retries, ...) are model-cost too and
+//     compare exactly;
+//   * host_seconds is noise — wall-clock on a shared host — so it only
+//     fails when CURRENT exceeds BASELINE by more than the --host-tolerance
+//     factor (default 3.0; pass 0 to skip the host check entirely).
+//
+// schema_version must match (both v2); name must match (comparing fig4
+// against table2 is a harness bug, not a perf delta).  git_rev and
+// config.threads are informational: printed, never compared.
+//
+// Exit 0 on match, 1 on drift (with one diagnostic line per difference),
+// 2 on usage / unreadable / malformed input.  Used by the bench_diff ctest
+// fixture (bench/CMakeLists.txt) and the baseline-refresh workflow in
+// docs/PERFORMANCE.md.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace {
+
+using dyncg::json::Value;
+
+int g_drift = 0;
+
+void drift(const std::string& msg) {
+  std::fprintf(stderr, "bench-diff: %s\n", msg.c_str());
+  ++g_drift;
+}
+
+std::string num_str(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Fetch obj[key] with the given type; malformed reports abort the diff
+// (exit 2) — dyncg_json_check owns schema validation, this tool assumes it.
+const Value& get(const Value& obj, const char* key, Value::Type type,
+                 const std::string& where) {
+  const Value* v = obj.find(key);
+  if (v == nullptr || v->type != type) {
+    std::fprintf(stderr, "bench-diff: %s: missing or mistyped \"%s\"\n",
+                 where.c_str(), key);
+    std::exit(2);
+  }
+  return *v;
+}
+
+double get_num(const Value& obj, const char* key, const std::string& where) {
+  return get(obj, key, Value::Type::kNumber, where).number;
+}
+
+const std::string& get_str(const Value& obj, const char* key,
+                           const std::string& where) {
+  return get(obj, key, Value::Type::kString, where).string;
+}
+
+void diff_exact_num(double base, double cur, const std::string& what) {
+  if (base != cur) {
+    drift(what + ": baseline " + num_str(base) + ", current " + num_str(cur));
+  }
+}
+
+void diff_exact_str(const std::string& base, const std::string& cur,
+                    const std::string& what) {
+  if (base != cur) {
+    drift(what + ": baseline \"" + base + "\", current \"" + cur + "\"");
+  }
+}
+
+// The ledger figures: tables -> rows -> points, all exact.
+void diff_tables(const Value& base, const Value& cur) {
+  const Value& bt = get(base, "tables", Value::Type::kArray, "baseline");
+  const Value& ct = get(cur, "tables", Value::Type::kArray, "current");
+  if (bt.array.size() != ct.array.size()) {
+    drift("table count: baseline " + std::to_string(bt.array.size()) +
+          ", current " + std::to_string(ct.array.size()));
+    return;
+  }
+  for (std::size_t t = 0; t < bt.array.size(); ++t) {
+    std::string where = "tables[" + std::to_string(t) + "]";
+    diff_exact_str(get_str(bt.array[t], "title", where),
+                   get_str(ct.array[t], "title", where), where + ".title");
+    const Value& br = get(bt.array[t], "rows", Value::Type::kArray, where);
+    const Value& cr = get(ct.array[t], "rows", Value::Type::kArray, where);
+    if (br.array.size() != cr.array.size()) {
+      drift(where + ": row count: baseline " +
+            std::to_string(br.array.size()) + ", current " +
+            std::to_string(cr.array.size()));
+      continue;
+    }
+    for (std::size_t r = 0; r < br.array.size(); ++r) {
+      std::string rw = where + ".rows[" + std::to_string(r) + "]";
+      diff_exact_str(get_str(br.array[r], "problem", rw),
+                     get_str(cr.array[r], "problem", rw), rw + ".problem");
+      diff_exact_str(get_str(br.array[r], "claim", rw),
+                     get_str(cr.array[r], "claim", rw), rw + ".claim");
+      const Value& bp = get(br.array[r], "points", Value::Type::kArray, rw);
+      const Value& cp = get(cr.array[r], "points", Value::Type::kArray, rw);
+      if (bp.array.size() != cp.array.size()) {
+        drift(rw + ": point count: baseline " +
+              std::to_string(bp.array.size()) + ", current " +
+              std::to_string(cp.array.size()));
+        continue;
+      }
+      for (std::size_t p = 0; p < bp.array.size(); ++p) {
+        std::string pw = rw + ".points[" + std::to_string(p) + "]";
+        diff_exact_num(get_num(bp.array[p], "n", pw),
+                       get_num(cp.array[p], "n", pw), pw + ".n");
+        diff_exact_num(get_num(bp.array[p], "rounds", pw),
+                       get_num(cp.array[p], "rounds", pw), pw + ".rounds");
+      }
+    }
+  }
+}
+
+// Fault counters are deterministic model costs, not host noise.
+void diff_faults(const Value& base, const Value& cur) {
+  const Value& bf = get(base, "faults", Value::Type::kObject, "baseline");
+  const Value& cf = get(cur, "faults", Value::Type::kObject, "current");
+  diff_exact_str(get_str(bf, "spec", "baseline.faults"),
+                 get_str(cf, "spec", "current.faults"), "faults.spec");
+  for (const char* key : {"link_down_hits", "pe_down_hits", "words_dropped",
+                          "retries", "detour_rounds", "remaps"}) {
+    diff_exact_num(get_num(bf, key, "baseline.faults"),
+                   get_num(cf, key, "current.faults"),
+                   std::string("faults.") + key);
+  }
+}
+
+bool read_file(const char* path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dyncg_bench_diff [--host-tolerance R] BASELINE "
+               "CURRENT\n"
+               "  R: current host_seconds may be at most R x baseline "
+               "(default 3.0; 0 skips)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double host_tolerance = 3.0;
+  int arg = 1;
+  if (arg < argc && std::strcmp(argv[arg], "--host-tolerance") == 0) {
+    if (arg + 1 >= argc) return usage();
+    char* end = nullptr;
+    host_tolerance = std::strtod(argv[arg + 1], &end);
+    if (end == argv[arg + 1] || *end != '\0' || host_tolerance < 0.0) {
+      return usage();
+    }
+    arg += 2;
+  }
+  if (argc - arg != 2) return usage();
+  const char* base_path = argv[arg];
+  const char* cur_path = argv[arg + 1];
+
+  Value base, cur;
+  for (auto [path, doc] : {std::pair{base_path, &base}, {cur_path, &cur}}) {
+    std::string text, err;
+    if (!read_file(path, &text)) {
+      std::fprintf(stderr, "bench-diff: %s: cannot read\n", path);
+      return 2;
+    }
+    if (!dyncg::json::parse(text, doc, &err) || !doc->is_object()) {
+      std::fprintf(stderr, "bench-diff: %s: %s\n", path,
+                   err.empty() ? "not a JSON object" : err.c_str());
+      return 2;
+    }
+  }
+
+  diff_exact_num(get_num(base, "schema_version", "baseline"),
+                 get_num(cur, "schema_version", "current"), "schema_version");
+  diff_exact_str(get_str(base, "name", "baseline"),
+                 get_str(cur, "name", "current"), "name");
+  diff_tables(base, cur);
+  diff_faults(base, cur);
+
+  double base_host = get_num(base, "host_seconds", "baseline");
+  double cur_host = get_num(cur, "host_seconds", "current");
+  std::printf("bench-diff: %s: host %.3fs vs baseline %.3fs (%.2fx), rev %s "
+              "vs %s\n",
+              get_str(cur, "name", "current").c_str(), cur_host, base_host,
+              base_host > 0.0 ? cur_host / base_host : 0.0,
+              get_str(cur, "git_rev", "current").c_str(),
+              get_str(base, "git_rev", "baseline").c_str());
+  if (host_tolerance > 0.0 && cur_host > base_host * host_tolerance) {
+    drift("host_seconds regression: " + num_str(cur_host) + " > " +
+          num_str(host_tolerance) + " x baseline " + num_str(base_host));
+  }
+
+  if (g_drift > 0) {
+    std::fprintf(stderr, "bench-diff: %d difference(s) vs %s\n", g_drift,
+                 base_path);
+    return 1;
+  }
+  std::printf("bench-diff: ok (ledger figures identical)\n");
+  return 0;
+}

@@ -38,6 +38,7 @@
 #include "machine/faults.hpp"
 #include "machine/machine.hpp"
 #include "pieces/piecewise.hpp"
+#include "support/build_info.hpp"
 #include "support/fatal.hpp"
 #include "support/json.hpp"
 #include "support/rng.hpp"
@@ -127,39 +128,21 @@ class BenchReport {
     }
   }
 
-  // Revision stamp for the report.  The configure-time DYNCG_GIT_REV goes
-  // stale (or stays "-dirty") the moment the tree changes after cmake ran,
-  // so resolve the revision at run time when a git binary and the source
-  // tree are available, and only fall back to the baked-in stamp.
+  // Revision stamp for the report: run-time resolution with a baked-in
+  // configure-time fallback (support/build_info.hpp; dyncg_load stamps its
+  // BENCH_serve.json through the same helper).
   static std::string git_rev() {
-#if defined(DYNCG_SOURCE_DIR) && (defined(__unix__) || defined(__APPLE__))
-    auto run = [](const std::string& cmd) -> std::string {
-      std::string out;
-      if (std::FILE* p = popen(cmd.c_str(), "r")) {
-        char buf[128];
-        std::size_t got = std::fread(buf, 1, sizeof(buf) - 1, p);
-        if (pclose(p) == 0 && got > 0) out.assign(buf, got);
-      }
-      while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
-        out.pop_back();
-      }
-      return out;
-    };
-    const std::string base = "git -C \"" DYNCG_SOURCE_DIR "\" ";
-    std::string rev = run(base + "rev-parse --short HEAD 2>/dev/null");
-    if (!rev.empty() && rev.find_first_not_of("0123456789abcdef") ==
-                            std::string::npos) {
-      if (!run(base + "status --porcelain 2>/dev/null").empty()) {
-        rev += "-dirty";
-      }
-      return rev;
-    }
+#if defined(DYNCG_SOURCE_DIR)
+    const char* src = DYNCG_SOURCE_DIR;
+#else
+    const char* src = nullptr;
 #endif
 #if defined(DYNCG_GIT_REV)
-    return DYNCG_GIT_REV;
+    const char* baked = DYNCG_GIT_REV;
 #else
-    return "unknown";
+    const char* baked = nullptr;
 #endif
+    return git_revision(src, baked);
   }
 
   // Bench binary name with the "bench_" prefix stripped ("table1_ops").

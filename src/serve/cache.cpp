@@ -1,0 +1,38 @@
+#include "serve/cache.hpp"
+
+#include <utility>
+
+#include "envelope/scenario_key.hpp"
+
+namespace dyncg {
+namespace serve {
+
+std::size_t ResultCache::KeyHash::operator()(const std::string& key) const {
+  return static_cast<std::size_t>(
+      fingerprint_bytes(kFingerprintSeed, key.data(), key.size()));
+}
+
+const CachedResult* ResultCache::find(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  ++counters_.hits;
+  return &it->second;
+}
+
+void ResultCache::insert(const std::string& key, CachedResult value) {
+  if (capacity_ == 0) return;
+  if (map_.find(key) != map_.end()) return;
+  if (map_.size() >= capacity_) {
+    map_.erase(fifo_.front());
+    fifo_.pop_front();
+    ++counters_.evictions;
+  }
+  fifo_.push_back(key);
+  map_.emplace(key, std::move(value));
+}
+
+}  // namespace serve
+}  // namespace dyncg

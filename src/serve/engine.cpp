@@ -1,0 +1,143 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "dyncg/allpairs.hpp"
+#include "dyncg/collision.hpp"
+#include "dyncg/containment.hpp"
+#include "dyncg/hull_membership.hpp"
+#include "dyncg/proximity.hpp"
+#include "machine/machine.hpp"
+#include "machine/other_topologies.hpp"
+#include "steady/machine_geometry.hpp"
+#include "support/ackermann.hpp"
+#include "support/assert.hpp"
+#include "support/trace.hpp"
+
+namespace dyncg {
+namespace serve {
+
+namespace {
+
+Machine make_machine(const std::string& name, std::size_t capacity) {
+  if (name == "hypercube") return Machine(make_hypercube_for(capacity));
+  if (name == "ccc") return Machine(make_ccc_for(capacity));
+  if (name == "shuffle") return Machine(make_shuffle_exchange_for(capacity));
+  DYNCG_ASSERT(name == "mesh", "unvalidated machine name reached the engine");
+  return Machine(make_mesh_for(capacity));
+}
+
+// printf-exact rendering: every format string below is the one dyncg_cli
+// uses, so served text and CLI stdout agree to the byte.
+template <class... Args>
+void appendf(std::string* out, const char* fmt, Args... args) {
+  char buf[256];
+  int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+  if (n > 0) out->append(buf, std::min<std::size_t>(n, sizeof(buf) - 1));
+}
+
+}  // namespace
+
+StatusOr<CachedResult> run_query(const Request& req) {
+  TRACE_SPAN("serve.query");
+  DYNCG_ASSERT(req.system.has_value(), "run_query needs a scenario");
+  const MotionSystem& sys = *req.system;
+
+  // Machine sizing mirrors the corresponding dyncg_cli cmd_* exactly.
+  Machine m = [&] {
+    switch (req.op) {
+      case Op::kNeighbor: {
+        int s = std::max(1, 2 * sys.motion_degree());
+        return make_machine(req.machine,
+                            lambda_upper_bound(ceil_pow2(sys.size()), s));
+      }
+      case Op::kPairs:
+        return req.machine == "mesh" ? allpairs_machine_mesh(sys)
+                                     : allpairs_machine_hypercube(sys);
+      case Op::kCollisions:
+        return make_machine(req.machine, sys.size());
+      case Op::kHullwhen:
+        return req.machine == "mesh" ? hull_membership_machine_mesh(sys)
+                                     : hull_membership_machine_hypercube(sys);
+      case Op::kContain:
+        return req.machine == "mesh" ? containment_machine_mesh(sys)
+                                     : containment_machine_hypercube(sys);
+      default:  // kSteady; ping/stats never reach the engine
+        return make_machine(req.machine, sys.size());
+    }
+  }();
+  if (req.has_faults) m.set_fault_plan(&req.faults);
+
+  CachedResult out;
+  CostMeter meter(m.ledger());
+  switch (req.op) {
+    case Op::kNeighbor: {
+      StatusOr<NeighborSequence> seq =
+          try_neighbor_sequence(m, sys, req.query, req.farthest);
+      if (!seq.is_ok()) return seq.status();
+      out.text = seq.value().to_string() + "\n";
+      break;
+    }
+    case Op::kPairs: {
+      PairSequence seq = closest_pair_sequence(m, sys, req.farthest);
+      out.text = seq.to_string() + "\n";
+      break;
+    }
+    case Op::kCollisions: {
+      StatusOr<CollisionReport> rep = try_collision_times(m, sys, req.query);
+      if (!rep.is_ok()) return rep.status();
+      if (rep.value().events.empty()) {
+        appendf(&out.text, "no collisions for P%zu\n", req.query);
+      }
+      for (const CollisionEvent& e : rep.value().events) {
+        appendf(&out.text, "t = %10.4f  P%zu <-> P%zu\n", e.time, req.query,
+                e.other);
+      }
+      break;
+    }
+    case Op::kHullwhen: {
+      StatusOr<IntervalSet> hit =
+          try_hull_membership_intervals(m, sys, req.query);
+      if (!hit.is_ok()) return hit.status();
+      appendf(&out.text, "P%zu is a hull vertex during ", req.query);
+      out.text += hit.value().to_string() + "\n";
+      break;
+    }
+    case Op::kContain: {
+      if (req.has_box) {
+        StatusOr<IntervalSet> J = try_containment_intervals(m, sys, req.box);
+        if (!J.is_ok()) return J.status();
+        out.text = "fits the box during " + J.value().to_string() + "\n";
+      } else {
+        SmallestCube cube = smallest_enclosing_cube(m, sys);
+        appendf(&out.text, "smallest enclosing cube: edge %.4f at t = %.4f\n",
+                cube.edge, cube.time);
+      }
+      break;
+    }
+    case Op::kSteady: {
+      appendf(&out.text, "steady NN of P%zu: P%zu\n", req.query,
+              machine_steady_neighbor(m, sys, req.query, req.farthest));
+      out.text += "steady hull: ";
+      for (std::size_t id : machine_steady_hull_ids(m, sys)) {
+        appendf(&out.text, "P%zu ", id);
+      }
+      out.text += "\n";
+      auto far = machine_steady_farthest_pair(m, sys);
+      appendf(&out.text, "steady farthest pair: (P%zu, P%zu)\n", far.a,
+              far.b);
+      break;
+    }
+    case Op::kStats:
+    case Op::kPing:
+      return Status::invalid_argument("op carries no scenario to run");
+  }
+  out.cost = meter.elapsed();
+  out.topology = m.topology().name();
+  out.pes = m.size();
+  return out;
+}
+
+}  // namespace serve
+}  // namespace dyncg

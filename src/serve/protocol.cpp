@@ -1,0 +1,434 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "envelope/scenario_key.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+
+namespace dyncg {
+namespace serve {
+
+namespace {
+
+// Defaults mirror dyncg_cli so a request that names only an op queries the
+// same scenario the bare CLI command would.
+constexpr std::uint64_t kDefaultSeed = 1;
+constexpr std::size_t kDefaultN = 8;
+constexpr std::size_t kDefaultDim = 2;
+constexpr int kDefaultK = 2;
+
+Status bad(const std::string& msg) { return Status::invalid_argument(msg); }
+
+// JSON numbers arrive as doubles; integer fields must hold exactly.
+bool to_index(const json::Value& v, std::uint64_t max, std::uint64_t* out) {
+  if (!v.is_number() || v.number < 0 ||
+      v.number != std::floor(v.number) ||
+      v.number > static_cast<double>(max)) {
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(v.number);
+  return true;
+}
+
+struct Scenario {
+  bool inline_points = false;
+  std::uint64_t seed = kDefaultSeed;
+  std::size_t n = kDefaultN;
+  std::size_t d = kDefaultDim;
+  bool has_d = false;
+  int k = kDefaultK;
+  std::vector<Trajectory> points;
+};
+
+Status parse_scenario(const json::Value& v, Scenario* out) {
+  if (!v.is_object()) return bad("'scenario' must be an object");
+  for (const auto& [name, member] : v.object) {
+    if (name == "seed") {
+      std::uint64_t x;
+      if (!to_index(member, 1ull << 40, &x)) {
+        return bad("scenario 'seed' must be an integer in [0, 2^40]");
+      }
+      out->seed = x;
+    } else if (name == "n") {
+      std::uint64_t x;
+      if (!to_index(member, kMaxPoints, &x) || x == 0) {
+        return bad("scenario 'n' must be an integer in [1, " +
+                   std::to_string(kMaxPoints) + "]");
+      }
+      out->n = static_cast<std::size_t>(x);
+    } else if (name == "d") {
+      std::uint64_t x;
+      if (!to_index(member, kMaxDimension, &x) || x == 0) {
+        return bad("scenario 'd' must be an integer in [1, " +
+                   std::to_string(kMaxDimension) + "]");
+      }
+      out->d = static_cast<std::size_t>(x);
+      out->has_d = true;
+    } else if (name == "k") {
+      std::uint64_t x;
+      if (!to_index(member, static_cast<std::uint64_t>(kMaxDegree), &x)) {
+        return bad("scenario 'k' must be an integer in [0, " +
+                   std::to_string(kMaxDegree) + "]");
+      }
+      out->k = static_cast<int>(x);
+    } else if (name == "points") {
+      if (!member.is_array() || member.array.empty() ||
+          member.array.size() > kMaxPoints) {
+        return bad("scenario 'points' must be a non-empty array of at most " +
+                   std::to_string(kMaxPoints) + " points");
+      }
+      out->inline_points = true;
+      for (const json::Value& pt : member.array) {
+        if (!pt.is_array() || pt.array.empty() ||
+            pt.array.size() > kMaxDimension) {
+          return bad(
+              "each point must be an array of 1.." +
+              std::to_string(kMaxDimension) +
+              " coordinate polynomials (arrays of coefficients)");
+        }
+        std::vector<Polynomial> coords;
+        coords.reserve(pt.array.size());
+        for (const json::Value& poly : pt.array) {
+          if (!poly.is_array() || poly.array.empty() ||
+              poly.array.size() > static_cast<std::size_t>(kMaxDegree) + 1) {
+            return bad("each coordinate must be a non-empty array of at "
+                       "most " +
+                       std::to_string(kMaxDegree + 1) +
+                       " coefficients (constant term first)");
+          }
+          std::vector<double> c;
+          c.reserve(poly.array.size());
+          for (const json::Value& coeff : poly.array) {
+            if (!coeff.is_number()) {
+              return bad("polynomial coefficients must be numbers");
+            }
+            c.push_back(coeff.number);
+          }
+          coords.push_back(Polynomial(std::move(c)));
+        }
+        out->points.push_back(Trajectory(std::move(coords)));
+      }
+    } else {
+      return bad("unknown scenario field '" + name + "'");
+    }
+  }
+  if (out->inline_points) {
+    if (out->seed != kDefaultSeed || out->n != kDefaultN || out->k != kDefaultK) {
+      // A request that sets both forms is ambiguous about what it queries.
+      return bad("scenario mixes inline 'points' with generator fields "
+                 "('seed'/'n'/'k')");
+    }
+    if (!out->has_d) out->d = out->points.front().dimension();
+  }
+  return Status::ok();
+}
+
+// op-specific field admissibility, applied after the full object is read.
+Status check_fields(const Request& r, bool has_scenario, bool has_query) {
+  const bool geometry = r.op != Op::kPing && r.op != Op::kStats;
+  if (!geometry) {
+    if (has_scenario || has_query || r.has_box || r.has_faults) {
+      return bad(std::string("'") + op_name(r.op) +
+                 "' takes no scenario/query/box/faults fields");
+    }
+    return Status::ok();
+  }
+  if (r.has_box && r.op != Op::kContain) {
+    return bad("'box' is only valid for op \"contain\"");
+  }
+  const bool pairwise = r.op == Op::kPairs || r.op == Op::kHullwhen ||
+                        r.op == Op::kContain;
+  if (pairwise && r.machine != "mesh" && r.machine != "hypercube") {
+    // dyncg_cli silently maps other topologies to hypercube here; the
+    // protocol rejects them instead so a response never comes from a
+    // machine the request did not name.
+    return bad(std::string("op \"") + op_name(r.op) +
+               "\" supports machine \"mesh\" or \"hypercube\" only");
+  }
+  const bool pointless = r.op == Op::kPairs || r.op == Op::kContain;
+  if (pointless && has_query) {
+    return bad(std::string("'query' is not valid for op \"") +
+               op_name(r.op) + "\"");
+  }
+  return Status::ok();
+}
+
+void build_key(Request* r) {
+  std::string key = op_name(r->op);
+  key += '|';
+  key += r->machine;
+  key += "|q";
+  key += std::to_string(r->query);
+  key += r->farthest ? "|f1" : "|f0";
+  if (r->has_box) {
+    key += "|b";
+    for (double v : r->box) append_canonical(key, v);
+  }
+  if (r->has_faults) {
+    key += "|x";
+    key += r->faults_spec;
+  }
+  key += "|s";
+  append_canonical(key, *r->system);
+  r->key = std::move(key);
+  r->fingerprint =
+      fingerprint_bytes(kFingerprintSeed, r->key.data(), r->key.size());
+}
+
+}  // namespace
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kNeighbor:
+      return "neighbor";
+    case Op::kPairs:
+      return "pairs";
+    case Op::kCollisions:
+      return "collisions";
+    case Op::kHullwhen:
+      return "hullwhen";
+    case Op::kContain:
+      return "contain";
+    case Op::kSteady:
+      return "steady";
+    case Op::kStats:
+      return "stats";
+    case Op::kPing:
+      return "ping";
+  }
+  return "?";
+}
+
+StatusOr<Request> parse_request(const std::string& line) {
+  json::Value root;
+  std::string err;
+  if (!json::parse(line, &root, &err)) {
+    return Status::parse_error("request is not valid JSON: " + err);
+  }
+  if (!root.is_object()) return bad("request must be a JSON object");
+
+  Request r;
+  bool has_op = false;
+  bool has_scenario = false;
+  bool has_query = false;
+  Scenario sc;
+  for (const auto& [name, member] : root.object) {
+    if (name == "op") {
+      if (!member.is_string()) return bad("'op' must be a string");
+      has_op = true;
+      const std::string& op = member.string;
+      if (op == "neighbor") {
+        r.op = Op::kNeighbor;
+      } else if (op == "pairs") {
+        r.op = Op::kPairs;
+      } else if (op == "collisions") {
+        r.op = Op::kCollisions;
+      } else if (op == "hullwhen") {
+        r.op = Op::kHullwhen;
+      } else if (op == "contain") {
+        r.op = Op::kContain;
+      } else if (op == "steady") {
+        r.op = Op::kSteady;
+      } else if (op == "stats") {
+        r.op = Op::kStats;
+      } else if (op == "ping") {
+        r.op = Op::kPing;
+      } else {
+        return bad("unknown op '" + op + "'");
+      }
+    } else if (name == "id") {
+      if (member.is_string()) {
+        r.id_json = "\"" + json::escape(member.string) + "\"";
+      } else if (member.is_number()) {
+        json::Writer w;
+        w.value(member.number);
+        r.id_json = w.str();
+      } else {
+        return bad("'id' must be a string or a number");
+      }
+    } else if (name == "scenario") {
+      has_scenario = true;
+      if (Status st = parse_scenario(member, &sc); !st.is_ok()) return st;
+    } else if (name == "machine") {
+      if (!member.is_string() ||
+          (member.string != "mesh" && member.string != "hypercube" &&
+           member.string != "ccc" && member.string != "shuffle")) {
+        return bad("'machine' must be \"mesh\", \"hypercube\", \"ccc\", or "
+                   "\"shuffle\"");
+      }
+      r.machine = member.string;
+    } else if (name == "query") {
+      std::uint64_t x;
+      if (!to_index(member, kMaxPoints - 1, &x)) {
+        return bad("'query' must be an integer in [0, " +
+                   std::to_string(kMaxPoints - 1) + "]");
+      }
+      r.query = static_cast<std::size_t>(x);
+      has_query = true;
+    } else if (name == "farthest") {
+      if (member.type != json::Value::Type::kBool) {
+        return bad("'farthest' must be a boolean");
+      }
+      r.farthest = member.boolean;
+    } else if (name == "box") {
+      if (!member.is_array() || member.array.empty() ||
+          member.array.size() > kMaxDimension) {
+        return bad("'box' must be a non-empty array of at most " +
+                   std::to_string(kMaxDimension) + " numbers");
+      }
+      for (const json::Value& dim : member.array) {
+        if (!dim.is_number()) return bad("'box' entries must be numbers");
+        r.box.push_back(dim.number);
+      }
+      r.has_box = true;
+    } else if (name == "faults") {
+      if (!member.is_string() || member.string.empty()) {
+        return bad("'faults' must be a non-empty fault-spec string");
+      }
+      StatusOr<FaultPlan> plan = FaultPlan::parse(member.string);
+      if (!plan.is_ok()) return plan.status();
+      r.faults = std::move(plan).value();
+      r.faults_spec = r.faults.to_string();
+      r.has_faults = true;
+    } else {
+      return bad("unknown request field '" + name + "'");
+    }
+  }
+  if (!has_op) return bad("request has no 'op' field");
+  if (Status st = check_fields(r, has_scenario, has_query); !st.is_ok()) {
+    return st;
+  }
+  if (r.op == Op::kPing || r.op == Op::kStats) return r;
+
+  // Materialize the scenario (absent scenario = CLI defaults).
+  if (r.op == Op::kSteady) {
+    if (sc.inline_points || sc.has_d) {
+      return bad("op \"steady\" takes generator scenarios only "
+                 "('seed'/'n'/'k'; the survey builds diverging motion "
+                 "itself)");
+    }
+    Rng rng(sc.seed);
+    r.system = diverging_motion_system(rng, sc.n, std::max(1, sc.k));
+  } else if (sc.inline_points) {
+    StatusOr<MotionSystem> sys =
+        MotionSystem::try_create(sc.d, std::move(sc.points));
+    if (!sys.is_ok()) return sys.status();
+    r.system = std::move(sys).value();
+  } else {
+    Rng rng(sc.seed);
+    r.system = random_motion_system(rng, sc.n, sc.d, sc.k);
+  }
+  if (r.op != Op::kPairs && r.op != Op::kContain &&
+      r.query >= r.system->size()) {
+    return bad("query index " + std::to_string(r.query) +
+               " out of range [0, " + std::to_string(r.system->size()) + ")");
+  }
+  if (r.has_box) {
+    // The CLI rule: missing trailing dimensions repeat the last one.
+    r.box.resize(r.system->dimension(), r.box.back());
+  }
+  build_key(&r);
+  return r;
+}
+
+namespace {
+
+void open_response(json::Writer* w, const std::string& id_json) {
+  w->begin_object();
+  if (!id_json.empty()) {
+    w->key("id");
+    w->value_raw(id_json);
+  }
+}
+
+}  // namespace
+
+std::string render_result(const std::string& id_json, Op op,
+                          const CachedResult& r, bool hit,
+                          std::uint64_t fingerprint) {
+  json::Writer w;
+  open_response(&w, id_json);
+  w.key("status");
+  w.value("OK");
+  w.key("op");
+  w.value(op_name(op));
+  w.key("cache");
+  w.value(hit ? "hit" : "miss");
+  w.key("key");
+  w.value(fingerprint_hex(fingerprint));
+  w.key("machine");
+  w.begin_object();
+  w.key("topology");
+  w.value(r.topology);
+  w.key("pes");
+  w.value(static_cast<std::uint64_t>(r.pes));
+  w.end_object();
+  w.key("cost");
+  w.value_raw(r.cost.to_json());
+  w.key("result");
+  w.value(r.text);
+  w.end_object();
+  return w.str();
+}
+
+std::string render_error(const std::string& id_json, const Status& st) {
+  json::Writer w;
+  open_response(&w, id_json);
+  w.key("status");
+  w.value(status_code_name(st.code()));
+  w.key("error");
+  w.value(st.message());
+  w.end_object();
+  return w.str();
+}
+
+std::string render_pong(const std::string& id_json) {
+  json::Writer w;
+  open_response(&w, id_json);
+  w.key("status");
+  w.value("OK");
+  w.key("op");
+  w.value("ping");
+  w.key("result");
+  w.value("pong");
+  w.end_object();
+  return w.str();
+}
+
+std::string render_stats(const std::string& id_json, const ServeStats& s) {
+  json::Writer w;
+  open_response(&w, id_json);
+  w.key("status");
+  w.value("OK");
+  w.key("op");
+  w.value("stats");
+  w.key("stats");
+  w.begin_object();
+  w.key("connections");
+  w.value(s.connections);
+  w.key("requests");
+  w.value(s.requests);
+  w.key("errors");
+  w.value(s.errors);
+  w.key("rejected");
+  w.value(s.rejected);
+  w.key("batches");
+  w.value(s.batches);
+  w.key("hits");
+  w.value(s.hits);
+  w.key("misses");
+  w.value(s.misses);
+  w.key("evictions");
+  w.value(s.evictions);
+  w.key("entries");
+  w.value(s.entries);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace serve
+}  // namespace dyncg

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dyncg/motion.hpp"
+#include "machine/cost.hpp"
+#include "machine/faults.hpp"
+#include "support/status.hpp"
+
+// Wire protocol of dyncg_serve: line-delimited JSON over a stream socket.
+//
+// Each request is one JSON object on one line; each response is one JSON
+// object on one line, in request order per connection.  The complete field
+// reference lives in docs/SERVING.md; this header is the single
+// implementation of both directions, shared by the server, the dyncg_load
+// client/oracle, the schema checker (dyncg_json_check --serve-request),
+// and the protocol tests — so the documented grammar and the accepted
+// grammar cannot drift apart.
+//
+// Parsing is strict: unknown fields, wrong types, out-of-range values, and
+// mixed scenario forms are errors, not warnings.  A rejected request costs
+// the server one parse — no machine is ever built for it (admission
+// control, docs/SERVING.md#admission).
+namespace dyncg {
+namespace serve {
+
+enum class Op {
+  kNeighbor,    // Theorem 4.1: nearest/farthest sequence for a query point
+  kPairs,       // Section 6 ext.: closest/farthest pair sequence
+  kCollisions,  // Theorem 4.2: collision times for a query point
+  kHullwhen,    // Theorem 4.5: when is the query a hull vertex
+  kContain,     // Theorem 4.6/4.8: containment intervals / smallest cube
+  kSteady,      // Section 5: steady-state survey (generator scenarios only)
+  kStats,       // server counters snapshot; no scenario
+  kPing,        // liveness probe; no scenario
+};
+const char* op_name(Op op);
+
+// Admission caps on scenario size, enforced at parse time so one request
+// can never ask the server to build an outsized machine.  dyncg_cli accepts
+// larger values; the serving caps are part of the protocol contract
+// (docs/SERVING.md#limits).
+inline constexpr std::size_t kMaxPoints = 4096;
+inline constexpr std::size_t kMaxDimension = 16;
+inline constexpr int kMaxDegree = 16;
+
+// A parsed, validated, materialized request.  `system` is already built
+// (generator scenarios are expanded; inline scenarios are range-checked by
+// MotionSystem::try_create), so everything downstream — cache key, engine —
+// works from bits, never from the request's surface form.
+struct Request {
+  Op op = Op::kPing;
+  // The "id" member rendered back to JSON ("\"a\"" or "7"); empty = absent.
+  std::string id_json;
+  std::string machine = "mesh";
+  std::size_t query = 0;
+  bool farthest = false;
+  bool has_box = false;
+  std::vector<double> box;  // resized to system dimension (CLI --box rule)
+  bool has_faults = false;
+  FaultPlan faults;
+  std::string faults_spec;  // canonical FaultPlan::to_string() form
+  std::optional<MotionSystem> system;  // absent for ping/stats
+  // Canonical cache key (empty for ping/stats) and its 64-bit FNV-1a
+  // fingerprint — the `key` field of responses.
+  std::string key;
+  std::uint64_t fingerprint = 0;
+};
+
+// Parse and validate one request line.  Error statuses map onto the repo's
+// pinned codes: kParseError for malformed JSON or fault specs,
+// kInvalidArgument for unknown/ill-typed/out-of-range fields.
+StatusOr<Request> parse_request(const std::string& line);
+
+// One computed answer, exactly what the cache stores: the CLI's stdout for
+// the same scenario minus its trailing cost line (trailing '\n' kept), plus
+// the simulated ledger figures and the machine it ran on.
+struct CachedResult {
+  std::string text;
+  CostSnapshot cost;
+  std::string topology;
+  std::size_t pes = 0;
+};
+
+// Counters the `stats` op reports and the shutdown summary prints.
+struct ServeStats {
+  std::uint64_t connections = 0;  // accepted
+  std::uint64_t requests = 0;     // lines parsed (including errors)
+  std::uint64_t errors = 0;       // error responses (parse or compute)
+  std::uint64_t rejected = 0;     // admission rejections (UNAVAILABLE)
+  std::uint64_t batches = 0;      // batches processed
+  std::uint64_t hits = 0;         // cache hits
+  std::uint64_t misses = 0;       // cache misses
+  std::uint64_t evictions = 0;    // cache evictions (FIFO)
+  std::uint64_t entries = 0;      // current cache size
+};
+
+// Response rendering (single line, no trailing newline).  Hit and miss
+// responses for the same key are byte-identical except the "cache" value —
+// the protocol-level statement of the determinism contract.
+std::string render_result(const std::string& id_json, Op op,
+                          const CachedResult& r, bool hit,
+                          std::uint64_t fingerprint);
+std::string render_error(const std::string& id_json, const Status& st);
+std::string render_pong(const std::string& id_json);
+std::string render_stats(const std::string& id_json, const ServeStats& s);
+
+}  // namespace serve
+}  // namespace dyncg

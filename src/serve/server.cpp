@@ -1,0 +1,356 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "serve/engine.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trace.hpp"
+
+namespace dyncg {
+namespace serve {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : opt_(std::move(options)), cache_(opt_.cache_cap) {}
+
+Server::~Server() {
+  for (Connection& c : conns_) {
+    if (c.fd >= 0) close(c.fd);
+  }
+  if (listen_fd_ >= 0) close(listen_fd_);
+}
+
+ServeStats Server::stats() const {
+  ServeStats s;
+  s.connections = connections_;
+  s.requests = requests_;
+  s.errors = errors_;
+  s.rejected = rejected_;
+  s.batches = batches_;
+  s.hits = cache_.counters().hits;
+  s.misses = cache_.counters().misses;
+  s.evictions = cache_.counters().evictions;
+  s.entries = cache_.size();
+  return s;
+}
+
+Status Server::setup_listener() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::io_error(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
+  addr.sin_port = htons(static_cast<std::uint16_t>(opt_.port));
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::io_error(std::string("bind 127.0.0.1:") +
+                            std::to_string(opt_.port) + ": " +
+                            std::strerror(errno));
+  }
+  if (listen(listen_fd_, 64) != 0) {
+    return Status::io_error(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (!set_nonblocking(listen_fd_)) {
+    return Status::io_error("cannot set listener non-blocking");
+  }
+  if (!opt_.port_file.empty()) {
+    std::FILE* f = std::fopen(opt_.port_file.c_str(), "w");
+    if (f == nullptr) {
+      return Status::io_error("cannot write port file " + opt_.port_file);
+    }
+    std::fprintf(f, "%d\n", port_);
+    std::fclose(f);
+  }
+  return Status::ok();
+}
+
+void Server::respond(std::size_t ci, const std::string& line) {
+  Connection& c = conns_[ci];
+  if (c.closed) return;  // requester hung up before the answer was ready
+  c.out += line;
+  c.out += '\n';
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    std::size_t open = 0;
+    for (const Connection& c : conns_) {
+      if (c.fd >= 0 && !c.closed) ++open;
+    }
+    if (open >= opt_.max_conns || !set_nonblocking(fd)) {
+      std::string bye =
+          render_error("", Status::unavailable("connection limit reached")) +
+          "\n";
+      (void)!write(fd, bye.data(), bye.size());
+      close(fd);
+      ++rejected_;
+      continue;
+    }
+    ++connections_;
+    // Reuse a dead slot so conns_ stays bounded by max_conns.
+    std::size_t slot = conns_.size();
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      if (conns_[i].fd < 0) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot == conns_.size()) conns_.emplace_back();
+    conns_[slot] = Connection{};
+    conns_[slot].fd = fd;
+  }
+}
+
+void Server::take_lines(std::size_t ci) {
+  Connection& c = conns_[ci];
+  std::size_t start = 0;
+  for (;;) {
+    std::size_t nl = c.in.find('\n', start);
+    if (nl == std::string::npos) break;
+    std::string line = c.in.substr(start, nl - start);
+    start = nl + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (c.skipping) {
+      c.skipping = false;  // tail of the over-long line: swallow silently
+      continue;
+    }
+    if (line.empty()) continue;  // blank keep-alives are not requests
+    if (line.size() > opt_.max_line) {
+      ++requests_;
+      ++errors_;
+      respond(ci, render_error(
+                      "", Status::invalid_argument(
+                              "request line exceeds max_line (" +
+                              std::to_string(opt_.max_line) + " bytes)")));
+      continue;
+    }
+    if (pending_.size() >= opt_.queue_cap) {
+      ++requests_;
+      ++rejected_;
+      respond(ci, render_error(
+                      "", Status::unavailable(
+                              "queue full (" +
+                              std::to_string(opt_.queue_cap) + " pending)")));
+      continue;
+    }
+    pending_.push_back(Pending{ci, std::move(line)});
+  }
+  c.in.erase(0, start);
+  if (!c.skipping && c.in.size() > opt_.max_line) {
+    ++requests_;
+    ++errors_;
+    respond(ci, render_error(
+                    "", Status::invalid_argument(
+                            "request line exceeds max_line (" +
+                            std::to_string(opt_.max_line) + " bytes)")));
+    c.in.clear();
+    c.skipping = true;  // drop the rest of this line when it arrives
+  }
+}
+
+void Server::read_ready(std::size_t ci) {
+  Connection& c = conns_[ci];
+  char buf[65536];
+  for (;;) {
+    ssize_t n = read(c.fd, buf, sizeof(buf));
+    if (n > 0) {
+      if (c.skipping) {
+        // Only the newline matters while discarding an over-long line.
+        const char* nl = static_cast<const char*>(
+            std::memchr(buf, '\n', static_cast<std::size_t>(n)));
+        if (nl == nullptr) continue;
+        c.in.append(nl, static_cast<std::size_t>(buf + n - nl));
+      } else {
+        c.in.append(buf, static_cast<std::size_t>(n));
+      }
+      take_lines(ci);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    c.closed = true;  // EOF or hard error; pending lines still process
+    return;
+  }
+}
+
+void Server::write_ready(std::size_t ci) {
+  Connection& c = conns_[ci];
+  while (!c.out.empty()) {
+    ssize_t n = write(c.fd, c.out.data(), c.out.size());
+    if (n > 0) {
+      c.out.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    c.closed = true;
+    c.out.clear();
+    return;
+  }
+}
+
+void Server::process_batch() {
+  TRACE_SPAN("serve.batch");
+  ++batches_;
+  std::size_t take = std::min(opt_.batch_cap, pending_.size());
+
+  struct Item {
+    std::size_t conn;
+    StatusOr<Request> req;
+  };
+  std::vector<Item> items;
+  items.reserve(take);
+
+  // Pass 1: parse, and collect the distinct keys the cache cannot answer.
+  for (std::size_t i = 0; i < take; ++i) {
+    ++requests_;
+    items.push_back(Item{pending_[i].conn, parse_request(pending_[i].line)});
+  }
+  std::vector<const Request*> to_compute;  // into items; reserve() keeps
+  for (const Item& item : items) {         // the addresses stable
+    if (!item.req.is_ok()) continue;
+    const Request& r = item.req.value();
+    if (r.op == Op::kPing || r.op == Op::kStats) continue;
+    if (cache_.contains(r.key)) continue;
+    bool queued = false;
+    for (const Request* q : to_compute) queued |= q->key == r.key;
+    if (!queued) to_compute.push_back(&r);
+  }
+
+  // Pass 2: compute the missing keys concurrently.  run_query is pure per
+  // request; results land in per-index slots, so this is a textbook
+  // independent-iteration loop (docs/PARALLELISM.md).
+  struct Computed {
+    Status status = Status::ok();
+    CachedResult result;
+  };
+  std::vector<Computed> computed(to_compute.size());
+  parallel_for(
+      to_compute.size(),
+      [&](std::size_t i) {
+        StatusOr<CachedResult> r = run_query(*to_compute[i]);
+        if (r.is_ok()) {
+          computed[i].result = std::move(r).value();
+        } else {
+          computed[i].status = r.status();
+        }
+      },
+      /*grain=*/1);
+
+  // Pass 3: replay in arrival order with sequential cache semantics.
+  for (const Item& item : items) {
+    if (!item.req.is_ok()) {
+      ++errors_;
+      respond(item.conn, render_error("", item.req.status()));
+      continue;
+    }
+    const Request& r = item.req.value();
+    if (r.op == Op::kPing) {
+      respond(item.conn, render_pong(r.id_json));
+      continue;
+    }
+    if (r.op == Op::kStats) {
+      respond(item.conn, render_stats(r.id_json, stats()));
+      continue;
+    }
+    if (const CachedResult* hit = cache_.find(r.key)) {
+      respond(item.conn,
+              render_result(r.id_json, r.op, *hit, true, r.fingerprint));
+      continue;
+    }
+    // Counted miss: fetch this key's computed slot.
+    const Computed* slot = nullptr;
+    for (std::size_t i = 0; i < to_compute.size(); ++i) {
+      if (to_compute[i]->key == r.key) {
+        slot = &computed[i];
+        break;
+      }
+    }
+    if (slot == nullptr || !slot->status.is_ok()) {
+      ++errors_;
+      respond(item.conn,
+              render_error(r.id_json,
+                           slot != nullptr
+                               ? slot->status
+                               : Status::invalid_argument(
+                                     "batch scheduling lost a key")));
+      continue;  // errors are never cached
+    }
+    cache_.insert(r.key, slot->result);
+    respond(item.conn,
+            render_result(r.id_json, r.op, slot->result, false,
+                          r.fingerprint));
+  }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(take));
+}
+
+Status Server::run() {
+  if (Status st = setup_listener(); !st.is_ok()) return st;
+  std::fprintf(stderr, "dyncg_serve: listening on 127.0.0.1:%d\n", port_);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    std::vector<std::size_t> fd_conn;  // fds[i + 1] -> conns_ index
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      Connection& c = conns_[i];
+      if (c.fd < 0) continue;
+      if (c.closed && c.out.empty()) {
+        close(c.fd);
+        c.fd = -1;
+        continue;
+      }
+      short events = c.closed ? 0 : POLLIN;
+      if (!c.out.empty()) events |= POLLOUT;
+      fds.push_back(pollfd{c.fd, events, 0});
+      fd_conn.push_back(i);
+    }
+    int ready = poll(fds.data(), fds.size(), /*timeout_ms=*/250);
+    if (ready < 0 && errno != EINTR) {
+      return Status::io_error(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready > 0) {
+      if ((fds[0].revents & POLLIN) != 0) accept_ready();
+      for (std::size_t i = 0; i < fd_conn.size(); ++i) {
+        short re = fds[i + 1].revents;
+        std::size_t ci = fd_conn[i];
+        if ((re & (POLLIN | POLLHUP | POLLERR)) != 0) read_ready(ci);
+        if ((re & POLLOUT) != 0 && conns_[ci].fd >= 0) write_ready(ci);
+      }
+    }
+    while (!pending_.empty()) process_batch();
+  }
+  // Clean shutdown: flush what can be flushed without blocking.
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    if (conns_[i].fd >= 0 && !conns_[i].out.empty()) write_ready(i);
+  }
+  return Status::ok();
+}
+
+}  // namespace serve
+}  // namespace dyncg

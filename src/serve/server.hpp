@@ -1,0 +1,103 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "support/status.hpp"
+
+// The dyncg_serve daemon core: a single poll() loop on 127.0.0.1 accepting
+// line-delimited JSON requests (serve/protocol.hpp), batching them, and
+// answering repeated scenarios from the result cache (serve/cache.hpp).
+//
+// Batching model (docs/SERVING.md#batching).  Complete lines drain into one
+// pending queue; each loop iteration takes up to batch_cap of them and runs
+// three passes:
+//   1. peek  — parse every line; collect the distinct cache-missing keys;
+//   2. fan   — compute those keys concurrently (ThreadPool parallel_for,
+//              grain 1; run_query is pure per request);
+//   3. replay— walk the batch in arrival order doing the *sequential* cache
+//              protocol: counting lookup, then insert on miss.
+// Pass 3 makes hit/miss/eviction counters and every response byte a pure
+// function of the request sequence — independent of batch boundaries,
+// timing, and DYNCG_THREADS — which is what the determinism tests assert.
+//
+// Admission control (docs/SERVING.md#admission).  A line that arrives while
+// the pending queue holds queue_cap entries is answered UNAVAILABLE
+// immediately and never parsed; a line longer than max_line is answered
+// INVALID_ARGUMENT and discarded up to its newline; a connection beyond
+// max_conns is told UNAVAILABLE and closed.  Rejections cost O(1) — no
+// machine is ever built for them.
+namespace dyncg {
+namespace serve {
+
+struct ServerOptions {
+  int port = 0;               // 0 = ephemeral; resolved port via port_file
+  std::string port_file;      // write "PORT\n" here once listening
+  std::size_t max_line = std::size_t{1} << 20;  // bytes, newline excluded
+  std::size_t queue_cap = 1024;  // pending parsed-line limit
+  std::size_t batch_cap = 64;    // requests per processing batch
+  std::size_t cache_cap = 4096;  // result-cache entries (0 disables)
+  std::size_t max_conns = 64;    // concurrent connections
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Bind/listen/serve until request_stop(); returns kIoError when the
+  // socket cannot be set up, OK on a clean shutdown.
+  Status run();
+
+  // Async-signal-safe stop flag (the tool's SIGTERM/SIGINT handler); the
+  // loop notices within its poll timeout, flushes, and returns.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  // Live counters (also served by the `stats` op and printed at shutdown).
+  ServeStats stats() const;
+
+  int port() const { return port_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string in;        // bytes read, not yet split into lines
+    std::string out;       // rendered responses awaiting write
+    bool skipping = false; // discarding an over-long line up to its newline
+    bool closed = false;
+  };
+  struct Pending {
+    std::size_t conn;      // index into conns_
+    std::string line;
+  };
+
+  Status setup_listener();
+  void accept_ready();
+  void read_ready(std::size_t ci);
+  void write_ready(std::size_t ci);
+  void take_lines(std::size_t ci);
+  void process_batch();
+  void respond(std::size_t ci, const std::string& line);
+
+  ServerOptions opt_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::vector<Connection> conns_;
+  std::vector<Pending> pending_;
+  ResultCache cache_;
+  std::uint64_t connections_ = 0;
+  std::uint64_t requests_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t batches_ = 0;
+};
+
+}  // namespace serve
+}  // namespace dyncg

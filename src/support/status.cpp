@@ -11,6 +11,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kParseError: return "PARSE_ERROR";
     case StatusCode::kUnsupported: return "UNSUPPORTED";
     case StatusCode::kUnrecoverable: return "UNRECOVERABLE";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -27,6 +27,9 @@
 //   kUnsupported        6   valid input outside the implemented scope
 //   kUnrecoverable      7   a fault plan the delivery layer cannot route
 //                           around (partitioned machine, retries exhausted)
+//   kUnavailable        8   the server cannot take the request right now
+//                           (admission control: queue full).  Used by
+//                           dyncg_serve responses, never by dyncg_cli.
 namespace dyncg {
 
 enum class StatusCode : int {
@@ -37,6 +40,7 @@ enum class StatusCode : int {
   kParseError = 5,
   kUnsupported = 6,
   kUnrecoverable = 7,
+  kUnavailable = 8,
 };
 
 // Name of the code as it appears in messages ("INVALID_ARGUMENT", ...).
@@ -66,6 +70,9 @@ class Status {
   }
   static Status unrecoverable(std::string msg) {
     return Status(StatusCode::kUnrecoverable, std::move(msg));
+  }
+  static Status unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool is_ok() const { return code_ == StatusCode::kOk; }

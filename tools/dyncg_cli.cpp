@@ -102,8 +102,9 @@ std::string g_trace_out;
                "usage: %s <neighbor|pairs|collisions|hullwhen|contain|steady|"
                "envelope|topo> [--n N] [--k K] [--d D] [--seed S] "
                "[--machine mesh|hypercube|ccc|shuffle] [--query Q] "
-               "[--farthest] [--adaptive] [--box w,h,...] [--threads T] "
-               "[--faults SPEC] [--fault-report] [--trace-out FILE]\n",
+               "[--farthest] [--adaptive] [--box w,h,...] [--file PATH] "
+               "[--threads T] [--faults SPEC] [--fault-report] "
+               "[--trace-out FILE]\n",
                argv0);
   std::exit(2);
 }

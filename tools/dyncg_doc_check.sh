@@ -1,0 +1,64 @@
+#!/bin/sh
+# Doc drift gate (ctest: doc_check).  Two invariants over README.md and
+# docs/*.md:
+#
+#   1. every `--flag` the docs mention is accepted by some repo binary —
+#      scraped live from the usage text each binary prints on a bad
+#      invocation, so renaming or deleting a flag fails this test until its
+#      documentation follows (plus a short allowlist for external tools:
+#      cmake/ctest/google-benchmark);
+#   2. every `bench_*` target/test name the docs mention still exists as a
+#      bench source, a CMake target, a ctest name, or a fixture.
+#
+#   dyncg_doc_check.sh SRC_DIR CLI SERVE LOAD JSON_CHECK BENCH_DIFF
+set -e
+SRC=$1
+shift
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+rc=0
+
+# --- 1. flags -------------------------------------------------------------
+for bin in "$@"; do
+  "$bin" --totally-unknown-flag 2>&1 || true
+done | grep -oE -- '--[a-z][a-z0-9_-]*' | sort -u > "$dir/flags"
+# External tools the docs legitimately reference.
+cat >> "$dir/flags" <<'EOF'
+--build
+--preset
+--target
+--test-dir
+--output-on-failure
+--benchmark_min_time
+EOF
+
+for tok in $(grep -hoE -- '--[a-z][a-z0-9_-]*' "$SRC/README.md" \
+               "$SRC"/docs/*.md | sort -u); do
+  if ! grep -qx -- "$tok" "$dir/flags"; then
+    echo "doc drift: documented flag $tok is accepted by no binary" >&2
+    rc=1
+  fi
+done
+
+# --- 2. bench targets / test names ---------------------------------------
+{
+  ls "$SRC/bench" | sed -n 's/\.cpp$//p'
+  echo bench_all
+  echo dyncg_bench_diff
+  grep -hoE 'NAME [A-Za-z0-9_]+' "$SRC"/bench/CMakeLists.txt \
+    "$SRC"/tools/CMakeLists.txt "$SRC"/tests/CMakeLists.txt |
+    sed 's/^NAME //'
+  grep -hoE 'FIXTURES_[A-Z]+ [A-Za-z0-9_]+' "$SRC"/bench/CMakeLists.txt \
+    "$SRC"/tools/CMakeLists.txt "$SRC"/tests/CMakeLists.txt |
+    sed 's/^FIXTURES_[A-Z]* //'
+} > "$dir/targets"
+
+for tok in $(grep -hoE 'bench_[a-z0-9_]+' "$SRC/README.md" \
+               "$SRC"/docs/*.md | sort -u); do
+  if ! grep -q -- "$tok" "$dir/targets"; then
+    echo "doc drift: documented bench target $tok does not exist" >&2
+    rc=1
+  fi
+done
+
+exit $rc

@@ -1,21 +1,28 @@
 // dyncg_json_check — schema validator for the observability outputs.
 //
-//   dyncg_json_check --trace FILE   Chrome trace_event JSON (dyncg_cli
-//                                   --trace-out / DYNCG_TRACE)
-//   dyncg_json_check --jsonl FILE   flat JSONL span metrics stream
-//   dyncg_json_check --bench FILE   BENCH_<name>.json bench report
+//   dyncg_json_check --trace FILE          Chrome trace_event JSON
+//                                          (dyncg_cli --trace-out /
+//                                          DYNCG_TRACE)
+//   dyncg_json_check --jsonl FILE          flat JSONL span metrics stream
+//   dyncg_json_check --bench FILE          BENCH_<name>.json bench report
+//   dyncg_json_check --serve-request FILE  dyncg_serve request lines
+//                                          (JSONL; validated by the same
+//                                          parser the server runs)
+//   dyncg_json_check --serve-response FILE dyncg_serve response lines
+//                                          (JSONL)
 //
 // Exit 0 when the file parses and carries every required field with the
 // right type; exit 1 with a diagnostic otherwise.  Used by the ctest
 // fixtures (tools/CMakeLists.txt, bench/CMakeLists.txt) so a schema
 // regression fails the default test target; the schemas themselves are
-// documented in docs/OBSERVABILITY.md.
+// documented in docs/OBSERVABILITY.md and docs/SERVING.md.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "serve/protocol.hpp"
 #include "support/json.hpp"
 
 namespace {
@@ -120,6 +127,18 @@ void check_bench(const Value& doc) {
       require(*faults, key, Value::Type::kNumber, "bench.faults");
     }
   }
+  // A report named "serve" comes from dyncg_load and must carry the
+  // host-side serving metrics section (docs/SERVING.md#bench).
+  const Value* name = doc.find("name");
+  if (name != nullptr && name->is_string() && name->string == "serve") {
+    const Value* serve = require(doc, "serve", Value::Type::kObject, "bench");
+    if (serve != nullptr) {
+      for (const char* key : {"requests", "rps", "p50_ms", "p99_ms", "hits",
+                              "misses", "evictions", "batches"}) {
+        require(*serve, key, Value::Type::kNumber, "bench.serve");
+      }
+    }
+  }
   const Value* tables = require(doc, "tables", Value::Type::kArray, "bench");
   if (tables == nullptr) return;
   if (tables->array.empty()) fail("bench: tables is empty");
@@ -159,6 +178,70 @@ void check_bench(const Value& doc) {
   }
 }
 
+// One dyncg_serve request line: run it through the server's own parser, so
+// this check accepts exactly what the daemon accepts — never a lookalike
+// schema that can drift.
+void check_serve_request(const std::string& line, std::size_t lineno) {
+  dyncg::StatusOr<dyncg::serve::Request> req =
+      dyncg::serve::parse_request(line);
+  if (!req.is_ok()) {
+    fail("line " + std::to_string(lineno) + ": " +
+         req.status().to_string());
+  }
+}
+
+// One dyncg_serve response line (docs/SERVING.md#responses).
+void check_serve_response(const Value& doc, std::size_t lineno) {
+  std::string where = "line " + std::to_string(lineno);
+  if (!doc.is_object()) {
+    fail(where + " is not an object");
+    return;
+  }
+  const Value* status = require(doc, "status", Value::Type::kString, where);
+  if (status == nullptr) return;
+  if (status->string != "OK") {
+    require(doc, "error", Value::Type::kString, where);
+    return;
+  }
+  const Value* op = require(doc, "op", Value::Type::kString, where);
+  if (op == nullptr) return;
+  if (op->string == "ping") {
+    require(doc, "result", Value::Type::kString, where);
+    return;
+  }
+  if (op->string == "stats") {
+    const Value* stats = require(doc, "stats", Value::Type::kObject, where);
+    if (stats != nullptr) {
+      for (const char* key :
+           {"connections", "requests", "errors", "rejected", "batches",
+            "hits", "misses", "evictions", "entries"}) {
+        require(*stats, key, Value::Type::kNumber, where + ".stats");
+      }
+    }
+    return;
+  }
+  const Value* cache = require(doc, "cache", Value::Type::kString, where);
+  if (cache != nullptr && cache->string != "hit" &&
+      cache->string != "miss") {
+    fail(where + ": cache is neither \"hit\" nor \"miss\"");
+  }
+  const Value* key = require(doc, "key", Value::Type::kString, where);
+  if (key != nullptr && key->string.size() != 16) {
+    fail(where + ": key is not a 16-hex-digit fingerprint");
+  }
+  const Value* machine = require(doc, "machine", Value::Type::kObject, where);
+  if (machine != nullptr) {
+    require(*machine, "topology", Value::Type::kString, where + ".machine");
+    require(*machine, "pes", Value::Type::kNumber, where + ".machine");
+  }
+  const Value* cost = require(doc, "cost", Value::Type::kObject, where);
+  if (cost != nullptr) {
+    check_cost_args(*cost, where + ".cost");
+    require(*cost, "time", Value::Type::kNumber, where + ".cost");
+  }
+  require(doc, "result", Value::Type::kString, where);
+}
+
 bool read_file(const char* path, std::string* out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
@@ -170,7 +253,8 @@ bool read_file(const char* path, std::string* out) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dyncg_json_check --trace|--jsonl|--bench FILE\n");
+               "usage: dyncg_json_check --trace|--jsonl|--bench|"
+               "--serve-request|--serve-response FILE\n");
   return 2;
 }
 
@@ -186,7 +270,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (mode == "--jsonl") {
+  if (mode == "--jsonl" || mode == "--serve-request" ||
+      mode == "--serve-response") {
     std::istringstream lines(text);
     std::string line;
     std::size_t lineno = 0;
@@ -194,13 +279,22 @@ int main(int argc, char** argv) {
     while (std::getline(lines, line)) {
       ++lineno;
       if (line.empty()) continue;
+      if (mode == "--serve-request") {
+        check_serve_request(line, lineno);
+        ++parsed;
+        continue;
+      }
       Value v;
       std::string err;
       if (!dyncg::json::parse(line, &v, &err)) {
         fail("line " + std::to_string(lineno) + ": " + err);
         continue;
       }
-      check_jsonl_line(v, lineno);
+      if (mode == "--serve-response") {
+        check_serve_response(v, lineno);
+      } else {
+        check_jsonl_line(v, lineno);
+      }
       ++parsed;
     }
     if (parsed == 0) fail("no records");

@@ -1,0 +1,158 @@
+// dyncg_serve — envelope-as-a-service: a long-lived daemon answering motion
+// scenarios and geometric queries over a line-delimited JSON protocol on
+// 127.0.0.1 (src/serve/, wire reference in docs/SERVING.md).
+//
+//   dyncg_serve [--port N] [--port-file PATH] [--queue-cap N]
+//               [--batch-cap N] [--cache-cap N] [--max-line BYTES]
+//               [--max-conns N] [--threads T] [--trace-out FILE]
+//
+// Options:
+//   --port N          TCP port; 0 (default) picks an ephemeral port
+//   --port-file PATH  write the resolved port here once listening — how
+//                     scripts find an ephemerally-bound server
+//   --queue-cap N     pending-request limit; excess lines are answered
+//                     UNAVAILABLE without being parsed       (default 1024)
+//   --batch-cap N     max requests processed per batch       (default 64)
+//   --cache-cap N     result-cache entries, 0 disables       (default 4096)
+//   --max-line BYTES  longest accepted request line          (default 1MiB)
+//   --max-conns N     concurrent connections                 (default 64)
+//   --threads T       host threads for batch compute (0 = all hardware
+//                     threads; overrides DYNCG_THREADS; default 1).  Never
+//                     changes any response byte — docs/PARALLELISM.md.
+//   --trace-out FILE  record serve.batch/serve.query spans and write them
+//                     at shutdown (Chrome trace or .jsonl)
+//
+// SIGTERM / SIGINT stop the loop cleanly: buffered responses are flushed, a
+// counter summary goes to stderr, exit code 0.  Exit 1 = socket/trace I/O
+// error, 2 = usage error.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "serve/server.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trace.hpp"
+
+namespace {
+
+using namespace dyncg;
+
+serve::Server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: dyncg_serve [--port N] [--port-file PATH] "
+               "[--queue-cap N] [--batch-cap N] [--cache-cap N] "
+               "[--max-line BYTES] [--max-conns N] [--threads T] "
+               "[--trace-out FILE]\n");
+  std::exit(2);
+}
+
+long parse_long(const std::string& flag, const char* tok, long min_value,
+                long max_value) {
+  char* end = nullptr;
+  long v = std::strtol(tok, &end, 10);
+  if (end == tok || *end != '\0' || v < min_value || v > max_value) {
+    std::fprintf(stderr, "error: %s expects an integer in [%ld, %ld], got '%s'\n",
+                 flag.c_str(), min_value, max_value, tok);
+    usage();
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServerOptions opt;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    std::string inline_value;
+    bool has_inline = false;
+    if (std::size_t eq = a.find('='); eq != std::string::npos) {
+      inline_value = a.substr(eq + 1);
+      a = a.substr(0, eq);
+      has_inline = true;
+    }
+    auto next = [&]() -> std::string {
+      if (has_inline) return inline_value;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", a.c_str());
+        usage();
+      }
+      return argv[++i];
+    };
+    if (a == "--port") {
+      opt.port = static_cast<int>(parse_long(a, next().c_str(), 0, 65535));
+    } else if (a == "--port-file") {
+      opt.port_file = next();
+      if (opt.port_file.empty()) usage();
+    } else if (a == "--queue-cap") {
+      opt.queue_cap = static_cast<std::size_t>(
+          parse_long(a, next().c_str(), 1, 1 << 20));
+    } else if (a == "--batch-cap") {
+      opt.batch_cap = static_cast<std::size_t>(
+          parse_long(a, next().c_str(), 1, 1 << 20));
+    } else if (a == "--cache-cap") {
+      opt.cache_cap = static_cast<std::size_t>(
+          parse_long(a, next().c_str(), 0, 1 << 24));
+    } else if (a == "--max-line") {
+      opt.max_line = static_cast<std::size_t>(
+          parse_long(a, next().c_str(), 64, 1 << 28));
+    } else if (a == "--max-conns") {
+      opt.max_conns = static_cast<std::size_t>(
+          parse_long(a, next().c_str(), 1, 4096));
+    } else if (a == "--threads") {
+      set_host_threads(
+          static_cast<unsigned>(parse_long(a, next().c_str(), 0, 1024)));
+    } else if (a == "--trace-out") {
+      trace_out = next();
+      if (trace_out.empty()) usage();
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", a.c_str());
+      usage();
+    }
+  }
+
+  if (!trace_out.empty()) trace::enable();
+
+  serve::Server server(opt);
+  g_server = &server;
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);  // peer hangups surface as write errors
+
+  Status st = server.run();
+  if (!st.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", st.to_string().c_str());
+    return st.exit_code();
+  }
+  serve::ServeStats s = server.stats();
+  std::fprintf(stderr,
+               "dyncg_serve: shutdown after %llu requests "
+               "(%llu hits, %llu misses, %llu evictions, %llu rejected, "
+               "%llu errors, %llu batches, %llu connections)\n",
+               static_cast<unsigned long long>(s.requests),
+               static_cast<unsigned long long>(s.hits),
+               static_cast<unsigned long long>(s.misses),
+               static_cast<unsigned long long>(s.evictions),
+               static_cast<unsigned long long>(s.rejected),
+               static_cast<unsigned long long>(s.errors),
+               static_cast<unsigned long long>(s.batches),
+               static_cast<unsigned long long>(s.connections));
+  if (!trace_out.empty()) {
+    if (!trace::write(trace_out)) {
+      std::fprintf(stderr, "error: cannot write trace file '%s'\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace: %zu spans -> %s\n", trace::event_count(),
+                 trace_out.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Canonical BENCH_serve.json production: start a fresh dyncg_serve, run one
+# deterministic dyncg_load bench grid against it (oracle-verified), write
+# the report, stop the daemon.  Shared by the serve_bench ctest fixture,
+# the bench_all baseline refresh, and manual runs — one invocation shape,
+# so the gated report and the committed baseline can never come from
+# different workloads (docs/SERVING.md#bench).
+#
+#   serve_bench.sh DYNCG_SERVE DYNCG_LOAD OUT.json [extra dyncg_load args]
+set -e
+SERVE=$1
+LOAD=$2
+OUT=$3
+shift 3
+dir=$(mktemp -d)
+pid=
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null
+  rm -rf "$dir"
+}
+trap cleanup EXIT
+
+"$SERVE" --port-file "$dir/port" &
+pid=$!
+
+"$LOAD" --port-file "$dir/port" --json "$OUT" --oracle "$@"
+
+kill -TERM "$pid"
+wait "$pid"
+pid=

@@ -1,0 +1,107 @@
+#!/bin/sh
+# End-to-end test of the serving stack (docs/SERVING.md):
+#
+#   1. byte-identity  — a mixed batch (3 ops x 3 scenarios) served over the
+#      socket must decode to exactly the bytes dyncg_cli prints for the
+#      same scenarios (minus the CLI's trailing cost line);
+#   2. cache counters — after 3 identical passes plus the decode pass the
+#      server must report exactly 9 misses and 27 hits (FIFO cache +
+#      ordered stream = exact counters, docs/SERVING.md#cache);
+#   3. error paths    — malformed JSON, unknown ops, out-of-range
+#      scenarios, and over-long lines are rejected with the documented
+#      status names, and the connection stays usable afterwards;
+#   4. shutdown       — both daemons exit 0 on SIGTERM;
+# plus schema validation of every request and response line exchanged
+# (dyncg_json_check --serve-request / --serve-response).
+#
+#   serve_e2e.sh DYNCG_SERVE DYNCG_LOAD DYNCG_CLI DYNCG_JSON_CHECK
+set -e
+SERVE=$1
+LOAD=$2
+CLI=$3
+CHECK=$4
+dir=$(mktemp -d)
+pid=
+pid2=
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null
+  [ -n "$pid2" ] && kill "$pid2" 2>/dev/null
+  rm -rf "$dir"
+}
+trap cleanup EXIT
+
+"$SERVE" --port-file "$dir/port" &
+pid=$!
+
+# --- 1. mixed batch vs the CLI oracle -------------------------------------
+# 9 unique requests: neighbor / collisions / contain over seeds 1..3.
+: > "$dir/uniq"
+for seed in 1 2 3; do
+  {
+    echo '{"op":"neighbor","scenario":{"seed":'$seed',"n":8,"k":1},"query":0}'
+    echo '{"op":"collisions","scenario":{"seed":'$seed',"n":8,"k":1},"query":1}'
+    echo '{"op":"contain","scenario":{"seed":'$seed',"n":8,"k":1},"box":[8,6]}'
+  } >> "$dir/uniq"
+done
+"$CHECK" --serve-request "$dir/uniq" > /dev/null
+
+# Three identical passes: pass 1 -> 9 misses, passes 2-3 -> 18 hits.
+cat "$dir/uniq" "$dir/uniq" "$dir/uniq" > "$dir/reqs"
+"$LOAD" --port-file "$dir/port" --send "$dir/reqs" --oracle \
+  --results-out "$dir/resp"
+"$CHECK" --serve-response "$dir/resp" > /dev/null
+test "$(grep -c '"cache":"miss"' "$dir/resp")" = 9
+test "$(grep -c '"cache":"hit"' "$dir/resp")" = 18
+
+# Decode pass (9 more hits): served bytes == CLI stdout minus its cost line.
+"$LOAD" --port-file "$dir/port" --send "$dir/uniq" --decode \
+  --results-out "$dir/got"
+: > "$dir/want"
+for seed in 1 2 3; do
+  "$CLI" neighbor --seed "$seed" --n 8 --k 1 --query 0 | sed '$d' >> "$dir/want"
+  "$CLI" collisions --seed "$seed" --n 8 --k 1 --query 1 | sed '$d' >> "$dir/want"
+  "$CLI" contain --seed "$seed" --n 8 --k 1 --box 8,6 | sed '$d' >> "$dir/want"
+done
+diff "$dir/want" "$dir/got"
+
+# --- 2. exact counters ----------------------------------------------------
+echo '{"op":"stats","id":"s"}' > "$dir/statreq"
+"$LOAD" --port-file "$dir/port" --send "$dir/statreq" > "$dir/stats"
+grep -q '"hits":27,"misses":9,"evictions":0' "$dir/stats"
+
+# --- 3. error paths on a live connection ----------------------------------
+{
+  echo 'this is not json'
+  echo '{"op":"frobnicate"}'
+  echo '{"op":"neighbor","scenario":{"n":99999}}'
+  echo '{"op":"neighbor","query":"zero"}'
+  echo '{"op":"pairs","machine":"ccc"}'
+  echo '{"op":"neighbor","faults":"bogus:1@2"}'
+  echo '{"op":"ping","id":"still-alive"}'
+} > "$dir/errs"
+"$LOAD" --port-file "$dir/port" --send "$dir/errs" --results-out "$dir/errresp"
+"$CHECK" --serve-response "$dir/errresp" > /dev/null
+test "$(grep -c '"status":"PARSE_ERROR"' "$dir/errresp")" = 2
+test "$(grep -c '"status":"INVALID_ARGUMENT"' "$dir/errresp")" = 4
+grep -q '"id":"still-alive","status":"OK"' "$dir/errresp"
+
+# --- 3b. admission: over-long lines against a tight max-line ---------------
+"$SERVE" --port-file "$dir/port2" --max-line 200 &
+pid2=$!
+{
+  awk 'BEGIN { printf "{\"op\":\"ping\",\"pad\":\""; \
+               for (i = 0; i < 400; i++) printf "x"; print "\"}" }'
+  echo '{"op":"ping","id":"after-long"}'
+} > "$dir/long"
+"$LOAD" --port-file "$dir/port2" --send "$dir/long" \
+  --results-out "$dir/longresp"
+grep -q 'exceeds max_line' "$dir/longresp"
+grep -q '"id":"after-long","status":"OK"' "$dir/longresp"
+
+# --- 4. clean SIGTERM shutdown --------------------------------------------
+kill -TERM "$pid"
+wait "$pid"
+pid=
+kill -TERM "$pid2"
+wait "$pid2"
+pid2=

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Serve smoke test: start dyncg_serve on an ephemeral port, answer a ping
+# and one geometric query through dyncg_load, then shut the daemon down
+# with SIGTERM and require a clean exit 0.
+#
+#   serve_smoke.sh DYNCG_SERVE DYNCG_LOAD
+set -e
+SERVE=$1
+LOAD=$2
+dir=$(mktemp -d)
+pid=
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null
+  rm -rf "$dir"
+}
+trap cleanup EXIT
+
+"$SERVE" --port-file "$dir/port" &
+pid=$!
+
+printf '%s\n%s\n' \
+  '{"op":"ping","id":1}' \
+  '{"op":"neighbor","id":2,"scenario":{"n":6,"k":1}}' > "$dir/req"
+"$LOAD" --port-file "$dir/port" --send "$dir/req" > "$dir/resp"
+
+grep -q '"result":"pong"' "$dir/resp"
+grep -c '"status":"OK"' "$dir/resp" | grep -qx 2
+
+kill -TERM "$pid"
+wait "$pid"   # set -e: a non-zero daemon exit fails the test
+pid=

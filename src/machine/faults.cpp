@@ -6,6 +6,7 @@
 
 #include "machine/topology.hpp"
 #include "support/json.hpp"
+#include "support/metrics.hpp"
 #include "support/rng.hpp"
 
 namespace dyncg {
@@ -409,25 +410,60 @@ Counters& counters() {
   static Counters* c = new Counters;  // leaked: bump-able from atexit hooks
   return *c;
 }
+
+// Registry mirrors of the process-wide fault counters, bumped here so one
+// bridge covers both layers that count (Fabric delivery and Machine
+// recovery penalties).  Fault schedules are seeded and consulted at
+// deterministic rounds, so all six are deterministic figures.
+struct FaultMetrics {
+  metrics::Counter& link_down_hits = metrics::counter(
+      "machine.fault.link_down_hits", "Words that met a downed link.",
+      metrics::Stability::kDeterministic);
+  metrics::Counter& pe_down_hits = metrics::counter(
+      "machine.fault.pe_down_hits", "Words that met a downed PE.",
+      metrics::Stability::kDeterministic);
+  metrics::Counter& words_dropped = metrics::counter(
+      "machine.fault.words_dropped", "Words dropped by word-drop faults.",
+      metrics::Stability::kDeterministic);
+  metrics::Counter& retries = metrics::counter(
+      "machine.fault.retries", "Retransmissions after drops.",
+      metrics::Stability::kDeterministic);
+  metrics::Counter& detour_rounds = metrics::counter(
+      "machine.fault.detour_rounds", "Extra rounds charged for detours.",
+      metrics::Stability::kDeterministic);
+  metrics::Counter& remaps = metrics::counter(
+      "machine.fault.remaps", "PE remaps after pe-down recovery.",
+      metrics::Stability::kDeterministic);
+};
+FaultMetrics& fault_metrics() {
+  static FaultMetrics* m = new FaultMetrics;  // leaked, like the registry
+  return *m;
+}
 }  // namespace
 
 void count_link_down_hit(std::uint64_t n) {
   counters().link_down_hits.fetch_add(n, std::memory_order_relaxed);
+  fault_metrics().link_down_hits.add(n);
 }
 void count_pe_down_hit(std::uint64_t n) {
   counters().pe_down_hits.fetch_add(n, std::memory_order_relaxed);
+  fault_metrics().pe_down_hits.add(n);
 }
 void count_word_dropped(std::uint64_t n) {
   counters().words_dropped.fetch_add(n, std::memory_order_relaxed);
+  fault_metrics().words_dropped.add(n);
 }
 void count_retry(std::uint64_t n) {
   counters().retries.fetch_add(n, std::memory_order_relaxed);
+  fault_metrics().retries.add(n);
 }
 void count_detour_rounds(std::uint64_t n) {
   counters().detour_rounds.fetch_add(n, std::memory_order_relaxed);
+  fault_metrics().detour_rounds.add(n);
 }
 void count_remap(std::uint64_t n) {
   counters().remaps.fetch_add(n, std::memory_order_relaxed);
+  fault_metrics().remaps.add(n);
 }
 
 FaultCountersSnapshot snapshot() {

@@ -128,7 +128,7 @@ Status parse_scenario(const json::Value& v, Scenario* out) {
 
 // op-specific field admissibility, applied after the full object is read.
 Status check_fields(const Request& r, bool has_scenario, bool has_query) {
-  const bool geometry = r.op != Op::kPing && r.op != Op::kStats;
+  const bool geometry = !is_admin_op(r.op);
   if (!geometry) {
     if (has_scenario || has_query || r.has_box || r.has_faults) {
       return bad(std::string("'") + op_name(r.op) +
@@ -198,6 +198,10 @@ const char* op_name(Op op) {
       return "stats";
     case Op::kPing:
       return "ping";
+    case Op::kMetrics:
+      return "metrics";
+    case Op::kFlushTrace:
+      return "flush_trace";
   }
   return "?";
 }
@@ -220,25 +224,15 @@ StatusOr<Request> parse_request(const std::string& line) {
       if (!member.is_string()) return bad("'op' must be a string");
       has_op = true;
       const std::string& op = member.string;
-      if (op == "neighbor") {
-        r.op = Op::kNeighbor;
-      } else if (op == "pairs") {
-        r.op = Op::kPairs;
-      } else if (op == "collisions") {
-        r.op = Op::kCollisions;
-      } else if (op == "hullwhen") {
-        r.op = Op::kHullwhen;
-      } else if (op == "contain") {
-        r.op = Op::kContain;
-      } else if (op == "steady") {
-        r.op = Op::kSteady;
-      } else if (op == "stats") {
-        r.op = Op::kStats;
-      } else if (op == "ping") {
-        r.op = Op::kPing;
-      } else {
-        return bad("unknown op '" + op + "'");
+      bool known = false;
+      for (Op candidate : kAllOps) {
+        if (op == op_name(candidate)) {
+          r.op = candidate;
+          known = true;
+          break;
+        }
       }
+      if (!known) return bad("unknown op '" + op + "'");
     } else if (name == "id") {
       if (member.is_string()) {
         r.id_json = "\"" + json::escape(member.string) + "\"";
@@ -301,7 +295,7 @@ StatusOr<Request> parse_request(const std::string& line) {
   if (Status st = check_fields(r, has_scenario, has_query); !st.is_ok()) {
     return st;
   }
-  if (r.op == Op::kPing || r.op == Op::kStats) return r;
+  if (is_admin_op(r.op)) return r;
 
   // Materialize the scenario (absent scenario = CLI defaults).
   if (r.op == Op::kSteady) {
@@ -407,6 +401,12 @@ std::string render_stats(const std::string& id_json, const ServeStats& s) {
   w.value("stats");
   w.key("stats");
   w.begin_object();
+  w.key("schema_version");
+  w.value(s.schema_version);
+  w.key("git_rev");
+  w.value(s.git_rev);
+  w.key("uptime_seconds");
+  w.value(s.uptime_seconds);
   w.key("connections");
   w.value(s.connections);
   w.key("requests");
@@ -426,6 +426,36 @@ std::string render_stats(const std::string& id_json, const ServeStats& s) {
   w.key("entries");
   w.value(s.entries);
   w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string render_metrics(const std::string& id_json,
+                           const std::string& registry_json) {
+  json::Writer w;
+  open_response(&w, id_json);
+  w.key("status");
+  w.value("OK");
+  w.key("op");
+  w.value("metrics");
+  w.key("metrics");
+  w.value_raw(registry_json);
+  w.end_object();
+  return w.str();
+}
+
+std::string render_flush_trace(const std::string& id_json,
+                               std::uint64_t spans, const std::string& path) {
+  json::Writer w;
+  open_response(&w, id_json);
+  w.key("status");
+  w.value("OK");
+  w.key("op");
+  w.value("flush_trace");
+  w.key("spans");
+  w.value(spans);
+  w.key("path");
+  w.value(path);
   w.end_object();
   return w.str();
 }

@@ -36,8 +36,29 @@ enum class Op {
   kSteady,      // Section 5: steady-state survey (generator scenarios only)
   kStats,       // server counters snapshot; no scenario
   kPing,        // liveness probe; no scenario
+  kMetrics,     // admin: full metrics registry snapshot; no scenario
+  kFlushTrace,  // admin: write-and-clear the trace buffer; no scenario
 };
 const char* op_name(Op op);
+
+// Every protocol op, in enum order.  `dyncg_serve --list-ops` prints these
+// so tools/dyncg_doc_check.sh can verify docs/SERVING.md documents each.
+inline constexpr Op kAllOps[] = {
+    Op::kNeighbor, Op::kPairs,   Op::kCollisions, Op::kHullwhen, Op::kContain,
+    Op::kSteady,   Op::kStats,   Op::kPing,       Op::kMetrics,
+    Op::kFlushTrace,
+};
+
+// Version of the response surface, reported by the `stats` op.  Bumped when
+// a response schema gains or reorders fields (docs/SERVING.md#versioning).
+inline constexpr std::uint64_t kServeSchemaVersion = 2;
+
+// Ops that carry no scenario: liveness, stats, and admin requests.  They
+// never reach the engine or the cache.
+constexpr bool is_admin_op(Op op) {
+  return op == Op::kPing || op == Op::kStats || op == Op::kMetrics ||
+         op == Op::kFlushTrace;
+}
 
 // Admission caps on scenario size, enforced at parse time so one request
 // can never ask the server to build an outsized machine.  dyncg_cli accepts
@@ -85,8 +106,12 @@ struct CachedResult {
   std::size_t pes = 0;
 };
 
-// Counters the `stats` op reports and the shutdown summary prints.
+// Counters the `stats` op reports and the shutdown summary prints.  The
+// rendered field order is pinned in docs/SERVING.md#the-stats-op.
 struct ServeStats {
+  std::uint64_t schema_version = kServeSchemaVersion;
+  std::string git_rev = "unknown";   // resolved at server startup
+  double uptime_seconds = 0.0;       // host-noisy
   std::uint64_t connections = 0;  // accepted
   std::uint64_t requests = 0;     // lines parsed (including errors)
   std::uint64_t errors = 0;       // error responses (parse or compute)
@@ -107,6 +132,13 @@ std::string render_result(const std::string& id_json, Op op,
 std::string render_error(const std::string& id_json, const Status& st);
 std::string render_pong(const std::string& id_json);
 std::string render_stats(const std::string& id_json, const ServeStats& s);
+// `registry_json` is metrics::to_json() output, embedded verbatim under the
+// "metrics" key.
+std::string render_metrics(const std::string& id_json,
+                           const std::string& registry_json);
+// `spans` = events written, `path` = the trace file they went to.
+std::string render_flush_trace(const std::string& id_json,
+                               std::uint64_t spans, const std::string& path);
 
 }  // namespace serve
 }  // namespace dyncg

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "serve/engine.hpp"
+#include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
@@ -26,10 +27,95 @@ bool set_nonblocking(int fd) {
   return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
+// Registry handles for the serving path, resolved once.  Stability follows
+// from what each figure is a function of: per-op request counts, response
+// counts, and accepted connections are pure functions of the client's
+// request stream (deterministic); batch shapes, queue depth, and pressure
+// rejections depend on arrival timing (host-noisy).  Admission rejections
+// are counted under serve.admission.* only — serve.responses.error covers
+// the batch path, which is what stays deterministic.
+struct ServerMetrics {
+  std::vector<metrics::Counter*> requests_by_op;  // indexed by Op value
+  metrics::Counter* requests_invalid;
+  metrics::Counter* responses_ok;
+  metrics::Counter* responses_error;
+  metrics::Counter* connections;
+  metrics::Counter* admission_line_too_long;
+  metrics::Counter* admission_queue_full;
+  metrics::Counter* admission_conn_limit;
+  metrics::Counter* batches;
+  metrics::Histogram* batch_size;
+  metrics::Gauge* queue_depth;
+  metrics::Gauge* connections_open;
+  metrics::Gauge* cache_entries;
+
+  ServerMetrics() {
+    using metrics::Stability;
+    for (Op op : kAllOps) {
+      requests_by_op.push_back(&metrics::counter(
+          std::string("serve.requests.") + op_name(op),
+          std::string("Parsed requests with op \"") + op_name(op) + "\".",
+          Stability::kDeterministic));
+    }
+    requests_invalid = &metrics::counter(
+        "serve.requests.invalid", "Request lines that failed to parse.",
+        Stability::kDeterministic);
+    responses_ok = &metrics::counter(
+        "serve.responses.ok", "OK responses (batch path).",
+        Stability::kDeterministic);
+    responses_error = &metrics::counter(
+        "serve.responses.error", "Error responses (batch path).",
+        Stability::kDeterministic);
+    connections = &metrics::counter(
+        "serve.connections", "Accepted connections.",
+        Stability::kDeterministic);
+    admission_line_too_long = &metrics::counter(
+        "serve.admission.line_too_long",
+        "Lines rejected for exceeding max_line.",
+        Stability::kDeterministic);
+    admission_queue_full = &metrics::counter(
+        "serve.admission.queue_full",
+        "Lines rejected because the pending queue was full.",
+        Stability::kHostNoisy);
+    admission_conn_limit = &metrics::counter(
+        "serve.admission.conn_limit",
+        "Connections rejected at the max_conns limit.",
+        Stability::kHostNoisy);
+    batches = &metrics::counter("serve.batches", "Batches processed.",
+                                Stability::kHostNoisy);
+    batch_size = &metrics::histogram(
+        "serve.batch.size", "Requests per processed batch.",
+        Stability::kHostNoisy, metrics::pow2_bounds(11));
+    queue_depth = &metrics::gauge(
+        "serve.queue.depth", "Pending parsed lines awaiting a batch.",
+        Stability::kHostNoisy);
+    connections_open = &metrics::gauge(
+        "serve.connections.open", "Currently open connections.",
+        Stability::kHostNoisy);
+    cache_entries = &metrics::gauge(
+        "serve.cache.entries", "Result-cache entries after the last batch.",
+        Stability::kDeterministic);
+  }
+};
+
+ServerMetrics& sm() {
+  static ServerMetrics* m = new ServerMetrics;  // leaked, like the registry
+  return *m;
+}
+
+metrics::Counter& op_counter(Op op) {
+  return *sm().requests_by_op[static_cast<std::size_t>(op)];
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options)
-    : opt_(std::move(options)), cache_(opt_.cache_cap) {}
+    : opt_(std::move(options)),
+      start_(std::chrono::steady_clock::now()),
+      last_metrics_write_(start_),
+      cache_(opt_.cache_cap) {
+  sm();  // register the serving metrics before the first scrape
+}
 
 Server::~Server() {
   for (Connection& c : conns_) {
@@ -40,6 +126,10 @@ Server::~Server() {
 
 ServeStats Server::stats() const {
   ServeStats s;
+  s.git_rev = opt_.git_rev;
+  s.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
   s.connections = connections_;
   s.requests = requests_;
   s.errors = errors_;
@@ -111,9 +201,11 @@ void Server::accept_ready() {
       (void)!write(fd, bye.data(), bye.size());
       close(fd);
       ++rejected_;
+      sm().admission_conn_limit->add();
       continue;
     }
     ++connections_;
+    sm().connections->add();
     // Reuse a dead slot so conns_ stays bounded by max_conns.
     std::size_t slot = conns_.size();
     for (std::size_t i = 0; i < conns_.size(); ++i) {
@@ -145,6 +237,7 @@ void Server::take_lines(std::size_t ci) {
     if (line.size() > opt_.max_line) {
       ++requests_;
       ++errors_;
+      sm().admission_line_too_long->add();
       respond(ci, render_error(
                       "", Status::invalid_argument(
                               "request line exceeds max_line (" +
@@ -154,6 +247,7 @@ void Server::take_lines(std::size_t ci) {
     if (pending_.size() >= opt_.queue_cap) {
       ++requests_;
       ++rejected_;
+      sm().admission_queue_full->add();
       respond(ci, render_error(
                       "", Status::unavailable(
                               "queue full (" +
@@ -166,6 +260,7 @@ void Server::take_lines(std::size_t ci) {
   if (!c.skipping && c.in.size() > opt_.max_line) {
     ++requests_;
     ++errors_;
+    sm().admission_line_too_long->add();
     respond(ci, render_error(
                     "", Status::invalid_argument(
                             "request line exceeds max_line (" +
@@ -217,7 +312,9 @@ void Server::write_ready(std::size_t ci) {
 void Server::process_batch() {
   TRACE_SPAN("serve.batch");
   ++batches_;
+  sm().batches->add();
   std::size_t take = std::min(opt_.batch_cap, pending_.size());
+  sm().batch_size->observe(take);
 
   struct Item {
     std::size_t conn;
@@ -230,12 +327,17 @@ void Server::process_batch() {
   for (std::size_t i = 0; i < take; ++i) {
     ++requests_;
     items.push_back(Item{pending_[i].conn, parse_request(pending_[i].line)});
+    if (items.back().req.is_ok()) {
+      op_counter(items.back().req.value().op).add();
+    } else {
+      sm().requests_invalid->add();
+    }
   }
   std::vector<const Request*> to_compute;  // into items; reserve() keeps
   for (const Item& item : items) {         // the addresses stable
     if (!item.req.is_ok()) continue;
     const Request& r = item.req.value();
-    if (r.op == Op::kPing || r.op == Op::kStats) continue;
+    if (is_admin_op(r.op)) continue;
     if (cache_.contains(r.key)) continue;
     bool queued = false;
     for (const Request* q : to_compute) queued |= q->key == r.key;
@@ -262,25 +364,63 @@ void Server::process_batch() {
       },
       /*grain=*/1);
 
-  // Pass 3: replay in arrival order with sequential cache semantics.
+  // Pass 3: replay in arrival order with sequential cache semantics.  The
+  // pool is idle again here, so admin ops may collect the metrics registry
+  // and flush the trace buffer (the collection contract of both modules).
+  // Response counters bump *after* rendering: a `metrics` response reflects
+  // every response completed before it, not itself.
   for (const Item& item : items) {
     if (!item.req.is_ok()) {
       ++errors_;
       respond(item.conn, render_error("", item.req.status()));
+      sm().responses_error->add();
       continue;
     }
     const Request& r = item.req.value();
     if (r.op == Op::kPing) {
       respond(item.conn, render_pong(r.id_json));
+      sm().responses_ok->add();
       continue;
     }
     if (r.op == Op::kStats) {
       respond(item.conn, render_stats(r.id_json, stats()));
+      sm().responses_ok->add();
+      continue;
+    }
+    if (r.op == Op::kMetrics) {
+      respond(item.conn, render_metrics(r.id_json, metrics::to_json()));
+      sm().responses_ok->add();
+      continue;
+    }
+    if (r.op == Op::kFlushTrace) {
+      if (opt_.trace_out.empty()) {
+        ++errors_;
+        respond(item.conn,
+                render_error(r.id_json,
+                             Status::unavailable(
+                                 "server started without --trace-out")));
+        sm().responses_error->add();
+      } else {
+        std::uint64_t spans = trace::event_count();
+        if (trace::write_and_clear(opt_.trace_out)) {
+          respond(item.conn,
+                  render_flush_trace(r.id_json, spans, opt_.trace_out));
+          sm().responses_ok->add();
+        } else {
+          ++errors_;
+          respond(item.conn,
+                  render_error(r.id_json,
+                               Status::io_error("cannot write trace file " +
+                                                opt_.trace_out)));
+          sm().responses_error->add();
+        }
+      }
       continue;
     }
     if (const CachedResult* hit = cache_.find(r.key)) {
       respond(item.conn,
               render_result(r.id_json, r.op, *hit, true, r.fingerprint));
+      sm().responses_ok->add();
       continue;
     }
     // Counted miss: fetch this key's computed slot.
@@ -299,20 +439,28 @@ void Server::process_batch() {
                                ? slot->status
                                : Status::invalid_argument(
                                      "batch scheduling lost a key")));
+      sm().responses_error->add();
       continue;  // errors are never cached
     }
     cache_.insert(r.key, slot->result);
     respond(item.conn,
             render_result(r.id_json, r.op, slot->result, false,
                           r.fingerprint));
+    sm().responses_ok->add();
   }
   pending_.erase(pending_.begin(),
                  pending_.begin() + static_cast<std::ptrdiff_t>(take));
+  sm().cache_entries->set(static_cast<std::int64_t>(cache_.size()));
 }
 
 Status Server::run() {
   if (Status st = setup_listener(); !st.is_ok()) return st;
   std::fprintf(stderr, "dyncg_serve: listening on 127.0.0.1:%d\n", port_);
+  // Write an initial exposition immediately so scrapers (and the ctest
+  // fixture) find the file as soon as the port file exists.
+  if (!opt_.metrics_out.empty() && !metrics::write(opt_.metrics_out)) {
+    return Status::io_error("cannot write metrics file " + opt_.metrics_out);
+  }
   while (!stop_.load(std::memory_order_relaxed)) {
     std::vector<pollfd> fds;
     fds.push_back(pollfd{listen_fd_, POLLIN, 0});
@@ -343,11 +491,47 @@ Status Server::run() {
         if ((re & POLLOUT) != 0 && conns_[ci].fd >= 0) write_ready(ci);
       }
     }
+    std::size_t open = 0;
+    for (const Connection& c : conns_) {
+      if (c.fd >= 0 && !c.closed) ++open;
+    }
+    sm().connections_open->set(static_cast<std::int64_t>(open));
+    sm().queue_depth->set(static_cast<std::int64_t>(pending_.size()));
     while (!pending_.empty()) process_batch();
+    // SIGUSR1 asked for a trace flush; the pool is idle between batches,
+    // so the trace collection contract holds here.
+    if (flush_trace_.exchange(false, std::memory_order_relaxed) &&
+        !opt_.trace_out.empty()) {
+      std::uint64_t spans = trace::event_count();
+      if (trace::write_and_clear(opt_.trace_out)) {
+        std::fprintf(stderr, "dyncg_serve: flushed %llu spans to %s\n",
+                     static_cast<unsigned long long>(spans),
+                     opt_.trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "dyncg_serve: cannot write trace file %s\n",
+                     opt_.trace_out.c_str());
+      }
+    }
+    if (!opt_.metrics_out.empty()) {
+      auto now = std::chrono::steady_clock::now();
+      if (now - last_metrics_write_ >=
+          std::chrono::seconds(opt_.metrics_interval_s)) {
+        last_metrics_write_ = now;
+        if (!metrics::write(opt_.metrics_out)) {
+          std::fprintf(stderr, "dyncg_serve: cannot write metrics file %s\n",
+                       opt_.metrics_out.c_str());
+        }
+      }
+    }
   }
   // Clean shutdown: flush what can be flushed without blocking.
   for (std::size_t i = 0; i < conns_.size(); ++i) {
     if (conns_[i].fd >= 0 && !conns_[i].out.empty()) write_ready(i);
+  }
+  // Final exposition so the file holds the complete run's counts.
+  if (!opt_.metrics_out.empty() && !metrics::write(opt_.metrics_out)) {
+    std::fprintf(stderr, "dyncg_serve: cannot write metrics file %s\n",
+                 opt_.metrics_out.c_str());
   }
   return Status::ok();
 }

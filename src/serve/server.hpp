@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -42,6 +43,16 @@ struct ServerOptions {
   std::size_t batch_cap = 64;    // requests per processing batch
   std::size_t cache_cap = 4096;  // result-cache entries (0 disables)
   std::size_t max_conns = 64;    // concurrent connections
+  // Trace file the `flush_trace` op / SIGUSR1 write-and-clear into; empty
+  // means flush requests are answered UNAVAILABLE (tracing is off).
+  std::string trace_out;
+  // Metrics exposition file, rewritten every metrics_interval_s seconds
+  // while serving (and once at startup / shutdown): ".json" suffix =
+  // registry JSON, anything else Prometheus text.  Empty disables.
+  std::string metrics_out;
+  unsigned metrics_interval_s = 5;
+  // Reported in the `stats` response; resolved by the tool at startup.
+  std::string git_rev = "unknown";
 };
 
 class Server {
@@ -58,6 +69,12 @@ class Server {
   // Async-signal-safe stop flag (the tool's SIGTERM/SIGINT handler); the
   // loop notices within its poll timeout, flushes, and returns.
   void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  // Async-signal-safe trace-flush flag (the tool's SIGUSR1 handler); the
+  // loop write-and-clears options.trace_out within its poll timeout.
+  void request_trace_flush() {
+    flush_trace_.store(true, std::memory_order_relaxed);
+  }
 
   // Live counters (also served by the `stats` op and printed at shutdown).
   ServeStats stats() const;
@@ -89,6 +106,9 @@ class Server {
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> flush_trace_{false};
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_metrics_write_;
   std::vector<Connection> conns_;
   std::vector<Pending> pending_;
   ResultCache cache_;

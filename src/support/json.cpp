@@ -355,5 +355,69 @@ bool parse(const std::string& text, Value* out, std::string* error) {
   return true;
 }
 
+namespace {
+
+void dump_number(std::string& out, double v) {
+  // Counters and ledger figures parse into doubles; print exact integers
+  // as integers so round-tripping a registry dump is byte-stable.
+  constexpr double kExact = 9007199254740992.0;  // 2^53
+  if (v == static_cast<double>(static_cast<long long>(v)) && v < kExact &&
+      v > -kExact) {
+    out += std::to_string(static_cast<long long>(v));
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void dump_value(std::string& out, const Value& v) {
+  switch (v.type) {
+    case Value::Type::kNull:
+      out += "null";
+      return;
+    case Value::Type::kBool:
+      out += v.boolean ? "true" : "false";
+      return;
+    case Value::Type::kNumber:
+      dump_number(out, v.number);
+      return;
+    case Value::Type::kString:
+      out += '"';
+      out += escape(v.string);
+      out += '"';
+      return;
+    case Value::Type::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        if (i != 0) out += ',';
+        dump_value(out, v.array[i]);
+      }
+      out += ']';
+      return;
+    }
+    case Value::Type::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < v.object.size(); ++i) {
+        if (i != 0) out += ',';
+        out += '"';
+        out += escape(v.object[i].first);
+        out += "\":";
+        dump_value(out, v.object[i].second);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string dump(const Value& v) {
+  std::string out;
+  dump_value(out, v);
+  return out;
+}
+
 }  // namespace json
 }  // namespace dyncg

@@ -78,5 +78,14 @@ struct Value {
 // JSON grammar (RFC 8259) minus \u surrogate pairs, which decode to U+FFFD.
 bool parse(const std::string& text, Value* out, std::string* error = nullptr);
 
+// Serialize a parsed Value back to compact JSON text.  Deterministic and
+// canonical for the documents this repo round-trips: object key order is
+// preserved, numbers with an exact integer value in ±2^53 print without a
+// decimal point, other numbers print with %.17g (shortest round-trip is not
+// attempted).  Used to re-embed fetched documents (the `metrics` registry
+// inside BENCH_serve.json) and to canonicalize values for exact comparison
+// in dyncg_bench_diff.
+std::string dump(const Value& v);
+
 }  // namespace json
 }  // namespace dyncg

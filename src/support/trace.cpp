@@ -267,5 +267,11 @@ bool write(const std::string& path) {
   return write_chrome_trace(path);
 }
 
+bool write_and_clear(const std::string& path) {
+  if (!write(path)) return false;
+  clear();
+  return true;
+}
+
 }  // namespace trace
 }  // namespace dyncg

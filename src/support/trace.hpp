@@ -88,6 +88,13 @@ bool write_jsonl(const std::string& path);
 // Dispatch on extension: ".jsonl" → JSONL, anything else → Chrome trace.
 bool write(const std::string& path);
 
+// Runtime flush for long-lived processes: write (same extension dispatch as
+// write()), then drop the buffered events so the next flush starts fresh.
+// The buffer is cleared only on a successful write.  dyncg_serve wires this
+// to the `flush_trace` admin op and to SIGUSR1, so a daemon's trace is
+// reachable without killing it.  Collection contract applies.
+bool write_and_clear(const std::string& path);
+
 // RAII span.  Prefer the TRACE_SPAN / TRACE_SPAN_COST macros.
 class Span {
  public:

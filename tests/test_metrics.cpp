@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "machine/telemetry.hpp"
+#include "serve/engine.hpp"
+#include "serve/protocol.hpp"
+#include "support/json.hpp"
+#include "support/metrics.hpp"
+#include "support/thread_pool.hpp"
+
+// Tests for the live metrics registry (support/metrics.hpp): handle
+// semantics, bucket edges, zero overhead when disabled, shard-merge
+// determinism under the DYNCG_THREADS matrix, export formats, and the
+// never-perturbs-ledgers contract — plus the FabricTelemetry /
+// MachineTelemetry JSON edge cases the registry's histograms mirror.
+
+// Global allocation counter for the zero-overhead test, same scheme as
+// test_trace.cpp: we only compare the count across a region that performs
+// no other allocations.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
+
+namespace dyncg {
+namespace {
+
+// Each test owns the process-wide registry state for its duration.
+struct MetricsSession {
+  MetricsSession() {
+    metrics::reset();
+    metrics::enable();
+  }
+  ~MetricsSession() {
+    metrics::reset();
+    metrics::disable();
+  }
+};
+
+const metrics::CounterSnapshot* find_counter(
+    const metrics::RegistrySnapshot& snap, const std::string& name) {
+  for (const metrics::CounterSnapshot& c : snap.counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const metrics::HistogramSnapshot* find_histogram(
+    const metrics::RegistrySnapshot& snap, const std::string& name) {
+  for (const metrics::HistogramSnapshot& h : snap.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+TEST(Metrics, CounterAddAndIdempotentRegistration) {
+  MetricsSession session;
+  metrics::Counter& c = metrics::counter("test.counter.basic", "a counter",
+                                         metrics::Stability::kDeterministic);
+  metrics::Counter& again = metrics::counter(
+      "test.counter.basic", "a counter", metrics::Stability::kDeterministic);
+  EXPECT_EQ(&c, &again);
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, GaugeSetLastWins) {
+  MetricsSession session;
+  metrics::Gauge& g = metrics::gauge("test.gauge.basic", "a gauge",
+                                     metrics::Stability::kHostNoisy);
+  g.set(7);
+  g.set(-3);
+  EXPECT_EQ(g.value(), -3);
+}
+
+TEST(Metrics, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  MetricsSession session;
+  metrics::Histogram& h =
+      metrics::histogram("test.hist.edges", "bucket edges",
+                         metrics::Stability::kDeterministic, {1, 2, 4});
+  h.observe(0);  // <= 1            -> bucket 0
+  h.observe(1);  // == bound 1      -> bucket 0 (inclusive)
+  h.observe(2);  // == bound 2      -> bucket 1
+  h.observe(3);  // <= 4            -> bucket 2
+  h.observe(4);  // == bound 4      -> bucket 2
+  h.observe(5);  // past last bound -> overflow bucket 3
+  metrics::RegistrySnapshot snap = metrics::snapshot();
+  const metrics::HistogramSnapshot* hs = find_histogram(snap, "test.hist.edges");
+  ASSERT_NE(hs, nullptr);
+  ASSERT_EQ(hs->buckets.size(), 4u);
+  EXPECT_EQ(hs->buckets[0], 2u);
+  EXPECT_EQ(hs->buckets[1], 1u);
+  EXPECT_EQ(hs->buckets[2], 2u);
+  EXPECT_EQ(hs->buckets[3], 1u);
+  EXPECT_EQ(hs->count, 6u);
+  EXPECT_EQ(hs->sum, 0u + 1 + 2 + 3 + 4 + 5);
+}
+
+TEST(Metrics, Pow2Bounds) {
+  std::vector<std::uint64_t> b = metrics::pow2_bounds(4);
+  EXPECT_EQ(b, (std::vector<std::uint64_t>{1, 2, 4, 8}));
+}
+
+TEST(Metrics, DisabledRecordPathIsFreeAndAllocationless) {
+  metrics::Counter& c = metrics::counter("test.counter.disabled", "off",
+                                         metrics::Stability::kDeterministic);
+  metrics::Histogram& h =
+      metrics::histogram("test.hist.disabled", "off",
+                         metrics::Stability::kDeterministic, {1, 2});
+  metrics::reset();
+  metrics::disable();
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    c.add(3);
+    h.observe(static_cast<std::uint64_t>(i));
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(before, after);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, ShardMergeIsExactAtAnyThreadCount) {
+  MetricsSession session;
+  metrics::Counter& c = metrics::counter("test.counter.merge", "merged",
+                                         metrics::Stability::kDeterministic);
+  metrics::Histogram& h =
+      metrics::histogram("test.hist.merge", "merged",
+                         metrics::Stability::kDeterministic,
+                         metrics::pow2_bounds(8));
+  constexpr std::size_t kItems = 4096;
+  // Pool workers record into their own shards with no synchronization;
+  // collection after parallel_for returns must see exact totals no matter
+  // how DYNCG_THREADS split the index space.
+  parallel_for(kItems, [&](std::size_t i) {
+    c.add();
+    h.observe(static_cast<std::uint64_t>(i % 300));
+  }, 1);
+  EXPECT_EQ(c.value(), kItems);
+  metrics::RegistrySnapshot snap = metrics::snapshot();
+  const metrics::HistogramSnapshot* hs = find_histogram(snap, "test.hist.merge");
+  ASSERT_NE(hs, nullptr);
+  // Serial recompute of the expected buckets.
+  std::vector<std::uint64_t> want(hs->bounds.size() + 1, 0);
+  std::uint64_t want_sum = 0;
+  for (std::size_t i = 0; i < kItems; ++i) {
+    std::uint64_t v = i % 300;
+    std::size_t b = 0;
+    while (b < hs->bounds.size() && v > hs->bounds[b]) ++b;
+    ++want[b];
+    want_sum += v;
+  }
+  EXPECT_EQ(hs->buckets, want);
+  EXPECT_EQ(hs->count, kItems);
+  EXPECT_EQ(hs->sum, want_sum);
+}
+
+TEST(Metrics, ResetZeroesEverythingButKeepsRegistrations) {
+  MetricsSession session;
+  metrics::Counter& c = metrics::counter("test.counter.reset", "reset",
+                                         metrics::Stability::kDeterministic);
+  metrics::Gauge& g = metrics::gauge("test.gauge.reset", "reset",
+                                     metrics::Stability::kHostNoisy);
+  c.add(5);
+  g.set(9);
+  metrics::reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  c.add(2);
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(Metrics, ToJsonIsSchemaValidAndSorted) {
+  MetricsSession session;
+  metrics::counter("test.json.b", "second", metrics::Stability::kHostNoisy)
+      .add(2);
+  metrics::counter("test.json.a", "first",
+                   metrics::Stability::kDeterministic)
+      .add(1);
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(metrics::to_json(), &v, &err)) << err;
+  EXPECT_EQ(v.find("schema_version")->number, 1);
+  EXPECT_EQ(v.find("kind")->string, "dyncg-metrics");
+  const json::Value* counters = v.find("counters");
+  ASSERT_NE(counters, nullptr);
+  std::string prev;
+  bool saw_a = false;
+  for (const json::Value& c : counters->array) {
+    const std::string& name = c.find("name")->string;
+    EXPECT_LT(prev, name);  // strictly ascending => no duplicates
+    prev = name;
+    const std::string& stability = c.find("stability")->string;
+    EXPECT_TRUE(stability == "deterministic" || stability == "host-noisy");
+    if (name == "test.json.a") {
+      saw_a = true;
+      EXPECT_EQ(c.find("value")->number, 1);
+      EXPECT_EQ(stability, "deterministic");
+    }
+  }
+  EXPECT_TRUE(saw_a);
+}
+
+TEST(Metrics, PrometheusExpositionCumulatesBuckets) {
+  MetricsSession session;
+  metrics::Histogram& h =
+      metrics::histogram("test.prom.hist", "a histogram",
+                         metrics::Stability::kDeterministic, {1, 2});
+  h.observe(1);
+  h.observe(2);
+  h.observe(9);
+  std::string text = metrics::to_prometheus();
+  EXPECT_NE(text.find("# TYPE dyncg_test_prom_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP dyncg_test_prom_hist a histogram "
+                      "[deterministic]"),
+            std::string::npos);
+  EXPECT_NE(text.find("dyncg_test_prom_hist_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("dyncg_test_prom_hist_bucket{le=\"2\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("dyncg_test_prom_hist_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("dyncg_test_prom_hist_sum 12"), std::string::npos);
+  EXPECT_NE(text.find("dyncg_test_prom_hist_count 3"), std::string::npos);
+}
+
+// The contract that lets metrics stay on in production: enabling them can
+// never change a simulated figure or a response byte.
+TEST(Metrics, NeverPerturbsSimulatedLedgers) {
+  const std::string line =
+      "{\"op\":\"neighbor\",\"scenario\":{\"seed\":1,\"n\":8,\"k\":1},"
+      "\"query\":0}";
+  StatusOr<serve::Request> req = serve::parse_request(line);
+  ASSERT_TRUE(req.is_ok());
+
+  metrics::reset();
+  metrics::disable();
+  StatusOr<serve::CachedResult> off = serve::run_query(req.value());
+  ASSERT_TRUE(off.is_ok());
+
+  metrics::enable();
+  StatusOr<serve::CachedResult> on = serve::run_query(req.value());
+  metrics::RegistrySnapshot snap = metrics::snapshot();
+  metrics::reset();
+  metrics::disable();
+  ASSERT_TRUE(on.is_ok());
+
+  EXPECT_EQ(off.value().text, on.value().text);
+  EXPECT_EQ(off.value().cost.rounds, on.value().cost.rounds);
+  EXPECT_EQ(off.value().cost.messages, on.value().cost.messages);
+  EXPECT_EQ(off.value().cost.local_ops, on.value().cost.local_ops);
+
+  // And the enabled run actually recorded the engine's histograms.
+  const metrics::HistogramSnapshot* rounds =
+      find_histogram(snap, "serve.query.rounds");
+  ASSERT_NE(rounds, nullptr);
+  EXPECT_EQ(rounds->count, 1u);
+  EXPECT_EQ(rounds->sum, on.value().cost.rounds);
+}
+
+// --- telemetry JSON edge cases (machine/telemetry.hpp) ----------------------
+
+TEST(Telemetry, EmptyFabricTelemetryJsonParses) {
+  FabricTelemetry t;
+  t.reset(0);
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(t.to_json(), &v, &err)) << err;
+  EXPECT_EQ(v.find("rounds")->number, 0);
+  EXPECT_EQ(v.find("messages")->number, 0);
+}
+
+TEST(Telemetry, RecordRoundZeroLandsInBucketZero) {
+  FabricTelemetry t;
+  t.reset(0);
+  t.record_round(0);
+  ASSERT_GE(t.round_histogram.size(), 1u);
+  EXPECT_EQ(t.round_histogram[0], 1u);
+  EXPECT_EQ(t.rounds, 1u);
+  EXPECT_EQ(t.messages, 0u);
+}
+
+TEST(Telemetry, RecordRoundOneLandsInBucketOne) {
+  FabricTelemetry t;
+  t.reset(0);
+  t.record_round(1);
+  ASSERT_GE(t.round_histogram.size(), 2u);
+  EXPECT_EQ(t.round_histogram[0], 0u);
+  EXPECT_EQ(t.round_histogram[1], 1u);
+  EXPECT_EQ(t.max_in_flight, 1u);
+}
+
+TEST(Telemetry, EmptyMachineTelemetryJsonParses) {
+  MachineTelemetry t;
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(t.to_json(), &v, &err)) << err;
+  EXPECT_NE(v.find("fabric"), nullptr);
+}
+
+}  // namespace
+}  // namespace dyncg

@@ -13,6 +13,10 @@
 //     algorithms and must be acknowledged by refreshing the baseline;
 //   * fault counters (link_down_hits, retries, ...) are model-cost too and
 //     compare exactly;
+//   * serve reports: sim_rounds_p50/p99 (exact simulated-cost percentiles)
+//     compare exactly, and every stability=deterministic entry of the
+//     embedded metrics registry must match canonically — same entry set,
+//     same values/buckets (stability=host-noisy entries are ignored);
 //   * host_seconds is noise — wall-clock on a shared host — so it only
 //     fails when CURRENT exceeds BASELINE by more than the --host-tolerance
 //     factor (default 3.0; pass 0 to skip the host check entirely).
@@ -32,6 +36,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "support/json.hpp"
 
@@ -147,6 +153,83 @@ void diff_faults(const Value& base, const Value& cur) {
   }
 }
 
+// Serve reports: the exact simulated-cost percentiles gate like ledger
+// figures; the rest of the `serve` section (rps, latency) is host noise.
+void diff_serve(const Value& base, const Value& cur) {
+  const Value* bs = base.find("serve");
+  const Value* cs = cur.find("serve");
+  if (bs == nullptr && cs == nullptr) return;
+  if (bs == nullptr || cs == nullptr || !bs->is_object() ||
+      !cs->is_object()) {
+    drift("serve section present in only one report");
+    return;
+  }
+  for (const char* key : {"sim_rounds_p50", "sim_rounds_p99"}) {
+    diff_exact_num(get_num(*bs, key, "baseline.serve"),
+                   get_num(*cs, key, "current.serve"),
+                   std::string("serve.") + key);
+  }
+}
+
+// Deterministic half of an embedded metrics registry
+// (docs/OBSERVABILITY.md#metrics): kind-qualified name -> canonical dump of
+// the whole entry, so values, bucket vectors, help text, and bounds all
+// participate in the exact compare.
+void collect_deterministic(const Value& doc,
+                           std::vector<std::pair<std::string, std::string>>*
+                               out) {
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const Value* arr = doc.find(section);
+    if (arr == nullptr || !arr->is_array()) continue;
+    for (const Value& e : arr->array) {
+      if (!e.is_object()) continue;
+      const Value* stability = e.find("stability");
+      if (stability == nullptr || !stability->is_string() ||
+          stability->string != "deterministic") {
+        continue;
+      }
+      const Value* name = e.find("name");
+      std::string label = std::string(section) + "/" +
+                          (name != nullptr && name->is_string() ? name->string
+                                                                : "?");
+      out->emplace_back(label, dyncg::json::dump(e));
+    }
+  }
+}
+
+void diff_metrics(const Value& base, const Value& cur) {
+  const Value* bm = base.find("metrics");
+  const Value* cm = cur.find("metrics");
+  if (bm == nullptr && cm == nullptr) return;
+  if (bm == nullptr || cm == nullptr || !bm->is_object() ||
+      !cm->is_object()) {
+    drift("metrics registry present in only one report");
+    return;
+  }
+  std::vector<std::pair<std::string, std::string>> be, ce;
+  collect_deterministic(*bm, &be);
+  collect_deterministic(*cm, &ce);
+  std::size_t bi = 0, ci = 0;
+  // Both registries are name-sorted per kind, so a single merge walk finds
+  // added, removed, and changed entries.
+  while (bi < be.size() || ci < ce.size()) {
+    if (ci >= ce.size() || (bi < be.size() && be[bi].first < ce[ci].first)) {
+      drift("metrics." + be[bi].first + ": missing from current");
+      ++bi;
+    } else if (bi >= be.size() || ce[ci].first < be[bi].first) {
+      drift("metrics." + ce[ci].first + ": missing from baseline");
+      ++ci;
+    } else {
+      if (be[bi].second != ce[ci].second) {
+        drift("metrics." + be[bi].first + ": baseline " + be[bi].second +
+              ", current " + ce[ci].second);
+      }
+      ++bi;
+      ++ci;
+    }
+  }
+}
+
 bool read_file(const char* path, std::string* out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
@@ -203,6 +286,8 @@ int main(int argc, char** argv) {
                  get_str(cur, "name", "current"), "name");
   diff_tables(base, cur);
   diff_faults(base, cur);
+  diff_serve(base, cur);
+  diff_metrics(base, cur);
 
   double base_host = get_num(base, "host_seconds", "baseline");
   double cur_host = get_num(cur, "host_seconds", "current");

@@ -8,7 +8,9 @@
 #      documentation follows (plus a short allowlist for external tools:
 #      cmake/ctest/google-benchmark);
 #   2. every `bench_*` target/test name the docs mention still exists as a
-#      bench source, a CMake target, a ctest name, or a fixture.
+#      bench source, a CMake target, a ctest name, or a fixture;
+#   3. every protocol op the server accepts (`dyncg_serve --list-ops`) is
+#      documented in docs/SERVING.md — adding an op without wire docs fails.
 #
 #   dyncg_doc_check.sh SRC_DIR CLI SERVE LOAD JSON_CHECK BENCH_DIFF
 set -e
@@ -57,6 +59,15 @@ for tok in $(grep -hoE 'bench_[a-z0-9_]+' "$SRC/README.md" \
                "$SRC"/docs/*.md | sort -u); do
   if ! grep -q -- "$tok" "$dir/targets"; then
     echo "doc drift: documented bench target $tok does not exist" >&2
+    rc=1
+  fi
+done
+
+# --- 3. protocol ops ------------------------------------------------------
+SERVE=$2
+for op in $("$SERVE" --list-ops); do
+  if ! grep -qw -- "$op" "$SRC/docs/SERVING.md"; then
+    echo "doc drift: protocol op '$op' is not documented in docs/SERVING.md" >&2
     rc=1
   fi
 done

@@ -10,6 +10,16 @@
 //                                          parser the server runs)
 //   dyncg_json_check --serve-response FILE dyncg_serve response lines
 //                                          (JSONL)
+//   dyncg_json_check --metrics FILE        metrics registry snapshot
+//                                          (dyncg_serve --metrics-out *.json
+//                                          or the `metrics` op's payload)
+//   dyncg_json_check --metrics-deterministic FILE
+//                                          validate like --metrics, then
+//                                          print one canonical line per
+//                                          stability=deterministic entry —
+//                                          diff two runs' outputs to assert
+//                                          the deterministic half of the
+//                                          registry is byte-identical
 //
 // Exit 0 when the file parses and carries every required field with the
 // right type; exit 1 with a diagnostic otherwise.  Used by the ctest
@@ -51,6 +61,8 @@ const Value* require(const Value& obj, const std::string& key,
   }
   return v;
 }
+
+void check_metrics(const Value& doc);  // shared by --bench and --metrics
 
 void check_cost_args(const Value& args, const std::string& where) {
   require(args, "rounds", Value::Type::kNumber, where);
@@ -134,10 +146,15 @@ void check_bench(const Value& doc) {
     const Value* serve = require(doc, "serve", Value::Type::kObject, "bench");
     if (serve != nullptr) {
       for (const char* key : {"requests", "rps", "p50_ms", "p99_ms", "hits",
-                              "misses", "evictions", "batches"}) {
+                              "misses", "evictions", "batches",
+                              "sim_rounds_p50", "sim_rounds_p99"}) {
         require(*serve, key, Value::Type::kNumber, "bench.serve");
       }
     }
+    // dyncg_load embeds the server's end-of-run metrics registry; it must
+    // itself be a valid snapshot (its deterministic entries are gated).
+    const Value* m = require(doc, "metrics", Value::Type::kObject, "bench");
+    if (m != nullptr) check_metrics(*m);
   }
   const Value* tables = require(doc, "tables", Value::Type::kArray, "bench");
   if (tables == nullptr) return;
@@ -178,6 +195,141 @@ void check_bench(const Value& doc) {
   }
 }
 
+// Metrics registry snapshot (docs/OBSERVABILITY.md#metrics): shared entry
+// prefix, then per-kind payload.  Returns true when the entry's stability
+// field says "deterministic" (the caller may not care).
+bool check_metric_entry(const Value& e, const std::string& where) {
+  require(e, "name", Value::Type::kString, where);
+  require(e, "help", Value::Type::kString, where);
+  bool deterministic = false;
+  const Value* stability =
+      require(e, "stability", Value::Type::kString, where);
+  if (stability != nullptr) {
+    if (stability->string != "deterministic" &&
+        stability->string != "host-noisy") {
+      fail(where + ": stability is neither \"deterministic\" nor "
+                   "\"host-noisy\"");
+    }
+    deterministic = stability->string == "deterministic";
+  }
+  return deterministic;
+}
+
+void check_metrics(const Value& doc) {
+  if (!doc.is_object()) {
+    fail("top level is not an object");
+    return;
+  }
+  const Value* version =
+      require(doc, "schema_version", Value::Type::kNumber, "metrics");
+  if (version != nullptr && version->number != 1) {
+    fail("metrics: schema_version is not 1");
+  }
+  const Value* kind = require(doc, "kind", Value::Type::kString, "metrics");
+  if (kind != nullptr && kind->string != "dyncg-metrics") {
+    fail("metrics: kind is not \"dyncg-metrics\"");
+  }
+  for (const char* section : {"counters", "gauges"}) {
+    const Value* arr = require(doc, section, Value::Type::kArray, "metrics");
+    if (arr == nullptr) continue;
+    std::string prev;
+    std::size_t i = 0;
+    for (const Value& e : arr->array) {
+      std::string where =
+          std::string(section) + "[" + std::to_string(i++) + "]";
+      if (!e.is_object()) {
+        fail(where + " is not an object");
+        continue;
+      }
+      check_metric_entry(e, where);
+      require(e, "value", Value::Type::kNumber, where);
+      if (const Value* name = e.find("name")) {
+        if (name->is_string()) {
+          if (!prev.empty() && !(prev < name->string)) {
+            fail(where + ": names are not strictly ascending");
+          }
+          prev = name->string;
+        }
+      }
+    }
+  }
+  const Value* hists =
+      require(doc, "histograms", Value::Type::kArray, "metrics");
+  if (hists == nullptr) return;
+  std::string prev;
+  std::size_t i = 0;
+  for (const Value& e : hists->array) {
+    std::string where = "histograms[" + std::to_string(i++) + "]";
+    if (!e.is_object()) {
+      fail(where + " is not an object");
+      continue;
+    }
+    check_metric_entry(e, where);
+    const Value* bounds = require(e, "bounds", Value::Type::kArray, where);
+    const Value* buckets = require(e, "buckets", Value::Type::kArray, where);
+    require(e, "sum", Value::Type::kNumber, where);
+    const Value* count = require(e, "count", Value::Type::kNumber, where);
+    if (bounds != nullptr) {
+      double last = -1;
+      for (const Value& b : bounds->array) {
+        if (!b.is_number() || b.number <= last) {
+          fail(where + ": bounds are not strictly ascending numbers");
+          break;
+        }
+        last = b.number;
+      }
+      if (bounds->array.empty()) fail(where + ": bounds is empty");
+    }
+    if (bounds != nullptr && buckets != nullptr) {
+      if (buckets->array.size() != bounds->array.size() + 1) {
+        fail(where + ": buckets.size() != bounds.size() + 1 (overflow)");
+      }
+      double total = 0;
+      bool numeric = true;
+      for (const Value& b : buckets->array) {
+        if (!b.is_number()) {
+          numeric = false;
+          break;
+        }
+        total += b.number;
+      }
+      if (!numeric) {
+        fail(where + ": buckets holds a non-number");
+      } else if (count != nullptr && count->number != total) {
+        fail(where + ": count != sum of buckets");
+      }
+    }
+    if (const Value* name = e.find("name")) {
+      if (name->is_string()) {
+        if (!prev.empty() && !(prev < name->string)) {
+          fail(where + ": names are not strictly ascending");
+        }
+        prev = name->string;
+      }
+    }
+  }
+}
+
+// --metrics-deterministic: one canonical (json::dump) line per entry whose
+// stability is "deterministic", prefixed with its kind.  Two runs of the
+// same request script must produce byte-identical output here no matter
+// the thread count — the serve_metrics.sh fixture diffs exactly that.
+void print_deterministic(const Value& doc) {
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const Value* arr = doc.find(section);
+    if (arr == nullptr || !arr->is_array()) continue;
+    for (const Value& e : arr->array) {
+      if (!e.is_object()) continue;
+      const Value* stability = e.find("stability");
+      if (stability == nullptr || !stability->is_string() ||
+          stability->string != "deterministic") {
+        continue;
+      }
+      std::printf("%s %s\n", section, dyncg::json::dump(e).c_str());
+    }
+  }
+}
+
 // One dyncg_serve request line: run it through the server's own parser, so
 // this check accepts exactly what the daemon accepts — never a lookalike
 // schema that can drift.
@@ -212,12 +364,32 @@ void check_serve_response(const Value& doc, std::size_t lineno) {
   if (op->string == "stats") {
     const Value* stats = require(doc, "stats", Value::Type::kObject, where);
     if (stats != nullptr) {
+      const Value* version = require(*stats, "schema_version",
+                                     Value::Type::kNumber, where + ".stats");
+      if (version != nullptr &&
+          version->number !=
+              static_cast<double>(dyncg::serve::kServeSchemaVersion)) {
+        fail(where + ".stats: schema_version mismatch");
+      }
+      require(*stats, "git_rev", Value::Type::kString, where + ".stats");
+      require(*stats, "uptime_seconds", Value::Type::kNumber,
+              where + ".stats");
       for (const char* key :
            {"connections", "requests", "errors", "rejected", "batches",
             "hits", "misses", "evictions", "entries"}) {
         require(*stats, key, Value::Type::kNumber, where + ".stats");
       }
     }
+    return;
+  }
+  if (op->string == "metrics") {
+    const Value* m = require(doc, "metrics", Value::Type::kObject, where);
+    if (m != nullptr) check_metrics(*m);
+    return;
+  }
+  if (op->string == "flush_trace") {
+    require(doc, "spans", Value::Type::kNumber, where);
+    require(doc, "path", Value::Type::kString, where);
     return;
   }
   const Value* cache = require(doc, "cache", Value::Type::kString, where);
@@ -254,7 +426,8 @@ bool read_file(const char* path, std::string* out) {
 int usage() {
   std::fprintf(stderr,
                "usage: dyncg_json_check --trace|--jsonl|--bench|"
-               "--serve-request|--serve-response FILE\n");
+               "--serve-request|--serve-response|--metrics|"
+               "--metrics-deterministic FILE\n");
   return 2;
 }
 
@@ -298,15 +471,24 @@ int main(int argc, char** argv) {
       ++parsed;
     }
     if (parsed == 0) fail("no records");
-  } else if (mode == "--trace" || mode == "--bench") {
+  } else if (mode == "--trace" || mode == "--bench" || mode == "--metrics" ||
+             mode == "--metrics-deterministic") {
     Value v;
     std::string err;
     if (!dyncg::json::parse(text, &v, &err)) {
       fail("parse error: " + err);
     } else if (mode == "--trace") {
       check_trace(v);
-    } else {
+    } else if (mode == "--bench") {
       check_bench(v);
+    } else {
+      check_metrics(v);
+      // The deterministic dump IS the output — no trailing "ok" line, so
+      // two runs' outputs can be diffed byte-for-byte.
+      if (mode == "--metrics-deterministic" && g_ok) {
+        print_deterministic(v);
+        return 0;
+      }
     }
   } else {
     return usage();

@@ -9,19 +9,24 @@
 // server's FIFO cache sees a fully deterministic request stream: misses =
 // ops × scenarios on the first pass, hits everywhere after.  Scenario i
 // uses seed i+1 and n = --n << i (a size sweep, so per-op rounds give a
-// log-log slope).  Afterwards a `stats` request fetches the server's
-// counters and the run is written as BENCH_serve.json (--json PATH):
-// schema v2 with the usual deterministic `tables` (per-op simulated rounds
-// over the n sweep, plus exact hit/miss counter rows — what
-// dyncg_bench_diff gates) and a host-noisy `serve` section (rps, p50/p99
-// latency) that the gate deliberately ignores.
+// log-log slope).  Afterwards `stats` and `metrics` requests fetch the
+// server's counters and full metrics registry, and the run is written as
+// BENCH_serve.json (--json PATH): schema v2 with the usual deterministic
+// `tables` (per-op simulated rounds over the n sweep, plus exact hit/miss
+// counter rows), exact simulated-cost percentiles (sim_rounds_p50/p99) and
+// the embedded `metrics` registry — all gated by dyncg_bench_diff — and
+// host-noisy `serve` figures (rps, p50/p99 latency) that the gate
+// deliberately ignores.
 //
 // Script mode (--send FILE): sends FILE's raw lines verbatim, writes one
 // response line per non-empty request line to stdout (or --results-out).
 // With --decode, writes each OK response's decoded `result` text instead —
 // i.e. exactly the bytes dyncg_cli prints for the same scenario minus its
 // cost line — and fails (exit 5) on any non-OK response; this is what the
-// e2e test diffs against real CLI output.
+// e2e test diffs against real CLI output.  With --pipeline, every line is
+// sent before the first response is read — one multi-request burst, so the
+// server actually forms multi-request batches (the determinism fixture
+// uses this to exercise parallel batch compute).
 //
 // Either mode, --oracle: every OK response's `result` is byte-compared
 // against an in-process recompute through the same serve::run_query the
@@ -40,6 +45,7 @@
 //   --send FILE        script mode (see above)
 //   --results-out F    script-mode responses to F instead of stdout
 //   --decode           script mode: write decoded result text, not JSON
+//   --pipeline         script mode: send every line before reading replies
 //   --oracle           verify results against in-process recompute
 //   --threads T        host threads for the oracle recompute
 //
@@ -76,7 +82,8 @@ using namespace dyncg;
                "usage: dyncg_load (--port N | --port-file PATH) "
                "[--ops a,b,c] [--scenarios S] [--repeats R] [--n N] "
                "[--machine mesh|hypercube] [--json PATH] [--send FILE] "
-               "[--results-out FILE] [--decode] [--oracle] [--threads T]\n");
+               "[--results-out FILE] [--decode] [--pipeline] [--oracle] "
+               "[--threads T]\n");
   std::exit(2);
 }
 
@@ -181,7 +188,7 @@ bool oracle_check(const std::string& request_line,
   StatusOr<serve::Request> req = serve::parse_request(request_line);
   if (!req.is_ok()) return !facts.ok;  // both sides must reject
   const serve::Request& r = req.value();
-  if (r.op == serve::Op::kPing || r.op == serve::Op::kStats) return true;
+  if (serve::is_admin_op(r.op)) return true;
   StatusOr<serve::CachedResult> want = serve::run_query(r);
   if (!want.is_ok()) return !facts.ok;
   return facts.ok && facts.result == want.value().text;
@@ -192,6 +199,18 @@ double percentile(std::vector<double> sorted_ms, double p) {
   std::size_t idx = static_cast<std::size_t>(
       p * static_cast<double>(sorted_ms.size() - 1) + 0.5);
   return sorted_ms[std::min(idx, sorted_ms.size() - 1)];
+}
+
+// Exact percentile over integer simulated-cost figures: the same
+// nearest-rank rule as percentile(), but the selected value is returned
+// untouched — no floating arithmetic on the figures themselves, so the
+// result is byte-exact across runs and thread counts.
+std::uint64_t percentile_u64(const std::vector<std::uint64_t>& sorted,
+                             double p) {
+  if (sorted.empty()) return 0;
+  std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
 }
 
 std::string stamp_git_rev() {
@@ -222,6 +241,7 @@ int main(int argc, char** argv) {
   std::string send_file;
   std::string results_out;
   bool decode = false;
+  bool pipeline = false;
   bool oracle = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -279,6 +299,8 @@ int main(int argc, char** argv) {
       results_out = next();
     } else if (a == "--decode") {
       decode = true;
+    } else if (a == "--pipeline") {
+      pipeline = true;
     } else if (a == "--oracle") {
       oracle = true;
     } else if (a == "--threads") {
@@ -330,12 +352,29 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+    // With --pipeline every request goes out before the first response is
+    // read; responses come back in request order (one connection, FIFO
+    // replay), so the processing loop below is identical either way.
+    std::vector<std::string> lines;
     std::string line;
-    int rc = 0;
     while (std::getline(in, line)) {
-      if (line.empty()) continue;
+      if (!line.empty()) lines.push_back(line);
+    }
+    int rc = 0;
+    if (pipeline) {
+      for (const std::string& l : lines) {
+        if (!client.send_line(l)) {
+          std::fprintf(stderr, "error: connection lost\n");
+          rc = 1;
+          break;
+        }
+      }
+    }
+    for (std::size_t li = 0; li < lines.size() && rc == 0; ++li) {
+      line = lines[li];
       std::string response;
-      if (!client.send_line(line) || !client.recv_line(&response)) {
+      if ((!pipeline && !client.send_line(line)) ||
+          !client.recv_line(&response)) {
         std::fprintf(stderr, "error: connection lost\n");
         rc = 1;
         break;
@@ -408,6 +447,10 @@ int main(int argc, char** argv) {
   using clock = std::chrono::steady_clock;
   const clock::time_point t0 = clock::now();
   std::vector<double> latency_ms;
+  // Simulated rounds of EVERY response (hits replay the cached cost, so
+  // each of the repeats contributes): a pure function of the request grid,
+  // hence byte-exact percentiles for the bench gate.
+  std::vector<std::uint64_t> sim_rounds;
   std::uint64_t sent = 0;
   for (std::size_t rep = 0; rep < repeats; ++rep) {
     for (Probe& p : grid) {
@@ -435,6 +478,7 @@ int main(int argc, char** argv) {
         return 5;
       }
       if (rep == 0) p.rounds = facts.rounds;
+      sim_rounds.push_back(static_cast<std::uint64_t>(facts.rounds));
       if (oracle && !oracle_check(p.line, facts)) {
         std::fprintf(stderr, "error: oracle mismatch for: %s\n",
                      p.line.c_str());
@@ -476,14 +520,41 @@ int main(int argc, char** argv) {
     st.entries = counter("entries");
   }
 
+  // Full metrics registry (re-serialized canonically via json::dump so the
+  // embedded object is byte-stable for the bench gate's exact compare).
+  std::string metrics_dump;
+  {
+    std::string metrics_line;
+    if (!client.send_line("{\"op\":\"metrics\"}") ||
+        !client.recv_line(&metrics_line)) {
+      std::fprintf(stderr, "error: connection lost on metrics\n");
+      return 1;
+    }
+    json::Value v;
+    const json::Value* m = nullptr;
+    if (!json::parse(metrics_line, &v) || (m = v.find("metrics")) == nullptr ||
+        !m->is_object()) {
+      std::fprintf(stderr, "error: malformed metrics response: %s\n",
+                   metrics_line.c_str());
+      return 5;
+    }
+    metrics_dump = json::dump(*m);
+  }
+
   std::sort(latency_ms.begin(), latency_ms.end());
+  std::sort(sim_rounds.begin(), sim_rounds.end());
+  const std::uint64_t sim_p50 = percentile_u64(sim_rounds, 0.50);
+  const std::uint64_t sim_p99 = percentile_u64(sim_rounds, 0.99);
   const double rps =
       host_seconds > 0 ? static_cast<double>(sent) / host_seconds : 0;
   std::fprintf(stderr,
                "dyncg_load: %llu requests in %.3fs (%.0f req/s, p50 %.2fms, "
-               "p99 %.2fms), server: %llu hits / %llu misses\n",
+               "p99 %.2fms, sim rounds p50 %llu / p99 %llu), "
+               "server: %llu hits / %llu misses\n",
                static_cast<unsigned long long>(sent), host_seconds, rps,
                percentile(latency_ms, 0.50), percentile(latency_ms, 0.99),
+               static_cast<unsigned long long>(sim_p50),
+               static_cast<unsigned long long>(sim_p99),
                static_cast<unsigned long long>(st.hits),
                static_cast<unsigned long long>(st.misses));
 
@@ -538,7 +609,17 @@ int main(int argc, char** argv) {
   w.value(st.evictions);
   w.key("batches");
   w.value(st.batches);
+  // Exact simulated-cost percentiles over every response's rounds figure;
+  // deterministic, so dyncg_bench_diff compares them byte-for-byte.
+  w.key("sim_rounds_p50");
+  w.value(sim_p50);
+  w.key("sim_rounds_p99");
+  w.value(sim_p99);
   w.end_object();
+  // The server's full metrics registry at end of run; its
+  // stability=deterministic entries join the gate's exact compare.
+  w.key("metrics");
+  w.value_raw(metrics_dump);
   w.key("tables");
   w.begin_array();
   w.begin_object();

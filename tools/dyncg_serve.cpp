@@ -5,6 +5,8 @@
 //   dyncg_serve [--port N] [--port-file PATH] [--queue-cap N]
 //               [--batch-cap N] [--cache-cap N] [--max-line BYTES]
 //               [--max-conns N] [--threads T] [--trace-out FILE]
+//               [--metrics-out FILE] [--metrics-interval SECONDS]
+//               [--list-ops]
 //
 // Options:
 //   --port N          TCP port; 0 (default) picks an ephemeral port
@@ -19,18 +21,30 @@
 //   --threads T       host threads for batch compute (0 = all hardware
 //                     threads; overrides DYNCG_THREADS; default 1).  Never
 //                     changes any response byte — docs/PARALLELISM.md.
-//   --trace-out FILE  record serve.batch/serve.query spans and write them
-//                     at shutdown (Chrome trace or .jsonl)
+//   --trace-out FILE  record serve.batch/serve.query spans; written at
+//                     shutdown (Chrome trace or .jsonl) and on demand via
+//                     the flush_trace op or SIGUSR1 (write-and-clear)
+//   --metrics-out FILE
+//                     expose the live metrics registry here, rewritten
+//                     periodically while serving: ".json" = registry JSON,
+//                     anything else Prometheus text (docs/OBSERVABILITY.md)
+//   --metrics-interval SECONDS
+//                     rewrite cadence for --metrics-out     (default 5)
+//   --list-ops        print every protocol op name, one per line, and exit
+//                     (tools/dyncg_doc_check.sh scrapes this)
 //
 // SIGTERM / SIGINT stop the loop cleanly: buffered responses are flushed, a
-// counter summary goes to stderr, exit code 0.  Exit 1 = socket/trace I/O
-// error, 2 = usage error.
+// counter summary goes to stderr, exit code 0.  SIGUSR1 write-and-clears
+// the trace file without stopping.  Exit 1 = socket/trace I/O error,
+// 2 = usage error.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "serve/server.hpp"
+#include "support/build_info.hpp"
+#include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
@@ -44,13 +58,32 @@ void on_signal(int) {
   if (g_server != nullptr) g_server->request_stop();
 }
 
+void on_flush_signal(int) {
+  if (g_server != nullptr) g_server->request_trace_flush();
+}
+
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: dyncg_serve [--port N] [--port-file PATH] "
                "[--queue-cap N] [--batch-cap N] [--cache-cap N] "
                "[--max-line BYTES] [--max-conns N] [--threads T] "
-               "[--trace-out FILE]\n");
+               "[--trace-out FILE] [--metrics-out FILE] "
+               "[--metrics-interval SECONDS] [--list-ops]\n");
   std::exit(2);
+}
+
+std::string stamp_git_rev() {
+#if defined(DYNCG_SOURCE_DIR)
+  const char* src = DYNCG_SOURCE_DIR;
+#else
+  const char* src = nullptr;
+#endif
+#if defined(DYNCG_GIT_REV)
+  const char* baked = DYNCG_GIT_REV;
+#else
+  const char* baked = nullptr;
+#endif
+  return git_revision(src, baked);
 }
 
 long parse_long(const std::string& flag, const char* tok, long min_value,
@@ -70,6 +103,12 @@ long parse_long(const std::string& flag, const char* tok, long min_value,
 int main(int argc, char** argv) {
   serve::ServerOptions opt;
   std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--list-ops") {
+      for (serve::Op op : serve::kAllOps) std::printf("%s\n", op_name(op));
+      return 0;
+    }
+  }
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     std::string inline_value;
@@ -113,6 +152,12 @@ int main(int argc, char** argv) {
     } else if (a == "--trace-out") {
       trace_out = next();
       if (trace_out.empty()) usage();
+    } else if (a == "--metrics-out") {
+      opt.metrics_out = next();
+      if (opt.metrics_out.empty()) usage();
+    } else if (a == "--metrics-interval") {
+      opt.metrics_interval_s =
+          static_cast<unsigned>(parse_long(a, next().c_str(), 0, 86400));
     } else {
       std::fprintf(stderr, "error: unknown flag '%s'\n", a.c_str());
       usage();
@@ -120,11 +165,15 @@ int main(int argc, char** argv) {
   }
 
   if (!trace_out.empty()) trace::enable();
+  opt.trace_out = trace_out;
+  opt.git_rev = stamp_git_rev();
+  metrics::enable();  // the serving path is always observable
 
   serve::Server server(opt);
   g_server = &server;
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
+  std::signal(SIGUSR1, on_flush_signal);
   std::signal(SIGPIPE, SIG_IGN);  // peer hangups surface as write errors
 
   Status st = server.run();

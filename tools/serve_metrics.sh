@@ -1,0 +1,121 @@
+#!/bin/sh
+# Metrics / observability test of the serving stack (docs/OBSERVABILITY.md,
+# docs/SERVING.md):
+#
+#   1. exposition   — --metrics-out writes a schema-valid registry snapshot
+#      at startup, rewrites it while serving, and the Prometheus variant
+#      carries the expected families;
+#   2. metrics op   — a `metrics` request against the live server returns a
+#      schema-valid snapshot inline (validated by --serve-response), and
+#      `stats` carries schema_version / git_rev / uptime_seconds;
+#   3. flush_trace  — the admin op write-and-clears --trace-out on demand,
+#      and SIGUSR1 does the same without stopping the daemon;
+#   4. determinism  — the stability=deterministic half of the registry is
+#      byte-identical across DYNCG_THREADS 1 and 4 for the same pipelined
+#      request script (multi-request batches, parallel compute).
+#
+#   serve_metrics.sh DYNCG_SERVE DYNCG_LOAD DYNCG_JSON_CHECK
+set -e
+SERVE=$1
+LOAD=$2
+CHECK=$3
+dir=$(mktemp -d)
+pid=
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null
+  rm -rf "$dir"
+}
+trap cleanup EXIT
+
+wait_for_file() {
+  i=0
+  while [ ! -s "$1" ]; do
+    i=$((i + 1))
+    test "$i" -le 100
+    sleep 0.1
+  done
+}
+
+# --- 1+2+3. JSON exposition, metrics/stats/flush_trace ops, SIGUSR1 --------
+"$SERVE" --port-file "$dir/port" --metrics-out "$dir/metrics.json" \
+  --metrics-interval 1 --trace-out "$dir/trace.json" &
+pid=$!
+wait_for_file "$dir/port"
+
+# Startup snapshot is written before the first request is accepted.
+wait_for_file "$dir/metrics.json"
+"$CHECK" --metrics "$dir/metrics.json" > /dev/null
+
+{
+  echo '{"op":"neighbor","scenario":{"seed":1,"n":8,"k":1},"query":0}'
+  echo '{"op":"neighbor","scenario":{"seed":1,"n":8,"k":1},"query":0}'
+  echo '{"op":"stats","id":"s"}'
+  echo '{"op":"metrics","id":"m"}'
+  echo '{"op":"flush_trace","id":"f"}'
+} > "$dir/reqs"
+"$LOAD" --port-file "$dir/port" --send "$dir/reqs" --results-out "$dir/resp"
+"$CHECK" --serve-response "$dir/resp" > /dev/null
+grep -q '"schema_version":2' "$dir/resp"
+grep -q '"git_rev":"' "$dir/resp"
+grep -q '"uptime_seconds":' "$dir/resp"
+grep -q '"kind":"dyncg-metrics"' "$dir/resp"
+grep -q '"id":"f","status":"OK"' "$dir/resp"
+test -s "$dir/trace.json"
+
+# SIGUSR1 write-and-clears the trace file without stopping the daemon.
+rm "$dir/trace.json"
+kill -USR1 "$pid"
+wait_for_file "$dir/trace.json"
+
+# The periodic rewrite reflects requests served after startup.
+rm "$dir/metrics.json"
+wait_for_file "$dir/metrics.json"
+"$CHECK" --metrics "$dir/metrics.json" > /dev/null
+grep -q '"name":"serve.cache.hits","help"' "$dir/metrics.json"
+
+kill -TERM "$pid"
+wait "$pid"
+pid=
+
+# --- 1b. Prometheus exposition ---------------------------------------------
+"$SERVE" --port-file "$dir/port2" --metrics-out "$dir/metrics.prom" &
+pid=$!
+{
+  echo '{"op":"ping"}'
+  echo '{"op":"neighbor","scenario":{"seed":1,"n":8,"k":1},"query":0}'
+} > "$dir/ping"
+"$LOAD" --port-file "$dir/port2" --send "$dir/ping" > /dev/null
+kill -TERM "$pid"
+wait "$pid"
+pid=
+# The shutdown write is unconditional, so the final file has the families.
+grep -q '^# TYPE dyncg_serve_requests_ping counter$' "$dir/metrics.prom"
+grep -q '^# TYPE dyncg_serve_query_rounds histogram$' "$dir/metrics.prom"
+grep -q '_bucket{le="+Inf"}' "$dir/metrics.prom"
+
+# --- 4. deterministic half byte-identical across thread counts -------------
+: > "$dir/script"
+for pass in 1 2; do
+  for seed in 1 2 3; do
+    {
+      echo '{"op":"neighbor","scenario":{"seed":'$seed',"n":8,"k":1},"query":0}'
+      echo '{"op":"collisions","scenario":{"seed":'$seed',"n":8,"k":1},"query":1}'
+      echo '{"op":"contain","scenario":{"seed":'$seed',"n":8,"k":1},"box":[8,6]}'
+    } >> "$dir/script"
+  done
+done
+for t in 1 4; do
+  "$SERVE" --port-file "$dir/port$t" --threads "$t" \
+    --metrics-out "$dir/m$t.json" &
+  pid=$!
+  # --pipeline sends the whole script before reading: the server forms
+  # multi-request batches and computes them on $t threads.
+  "$LOAD" --port-file "$dir/port$t" --send "$dir/script" --pipeline \
+    --oracle > /dev/null
+  kill -TERM "$pid"
+  wait "$pid"
+  pid=
+  "$CHECK" --metrics-deterministic "$dir/m$t.json" > "$dir/det$t"
+  test -s "$dir/det$t"
+done
+diff "$dir/det1" "$dir/det4"

@@ -36,6 +36,7 @@
 
 #include "dyncg/motion.hpp"
 #include "machine/faults.hpp"
+#include "poly/kernels.hpp"
 #include "machine/machine.hpp"
 #include "pieces/piecewise.hpp"
 #include "support/build_info.hpp"
@@ -191,6 +192,11 @@ class BenchReport {
     w.key("parallel_sort");
     w.value(false);
 #endif
+    // Numeric-kernel dispatch target the run used ("scalar" or "avx2");
+    // the ledger figures must not depend on it (exactness contract,
+    // docs/PERFORMANCE.md#simd-kernels), but host_seconds does.
+    w.key("dispatch");
+    w.value(kernels::active_simd_name());
     w.end_object();
     w.key("faults");
     w.begin_object();

@@ -29,9 +29,13 @@ std::vector<double> Trajectory::position(double t) const {
 Polynomial Trajectory::distance_squared(const Trajectory& other) const {
   DYNCG_ASSERT(dimension() == other.dimension(),
                "distance between different dimensions");
-  Polynomial sum;
+  // The family-construction setup loop runs once per pair in the register
+  // fill of every proximity/all-pairs/collision driver; the kernel-backed
+  // assign_difference and the in-place += avoid three temporaries per
+  // coordinate while keeping the exact operation order (bit-identical sum).
+  Polynomial sum, diff;
   for (std::size_t i = 0; i < coords_.size(); ++i) {
-    Polynomial diff = coords_[i] - other.coords_[i];
+    diff.assign_difference(coords_[i], other.coords_[i]);
     sum += diff * diff;
   }
   return sum;
@@ -45,9 +49,9 @@ Trajectory Trajectory::velocity() const {
 }
 
 Polynomial Trajectory::speed_squared() const {
-  Polynomial sum;
+  Polynomial sum, d;
   for (const Polynomial& c : coords_) {
-    Polynomial d = c.derivative();
+    d.assign_derivative(c);
     sum += d * d;
   }
   return sum;

@@ -9,19 +9,20 @@
 namespace dyncg {
 
 bool PiecewiseFn::well_formed(std::size_t family_size) const {
-  for (std::size_t i = 0; i < pieces.size(); ++i) {
-    const Piece& p = pieces[i];
-    if (p.id < 0 || p.id >= static_cast<int>(family_size)) return false;
-    if (!p.iv.nondegenerate()) return false;
-    if (i > 0 && p.iv.lo < pieces[i - 1].iv.hi) return false;
+  const PieceSlabView v = pieces.view();
+  for (std::size_t i = 0; i < v.count; ++i) {
+    if (v.id[i] < 0 || v.id[i] >= static_cast<int>(family_size)) return false;
+    if (!Interval{v.lo[i], v.hi[i]}.nondegenerate()) return false;
+    if (i > 0 && v.lo[i] < v.hi[i - 1]) return false;
   }
   return true;
 }
 
 int PiecewiseFn::id_at(double t) const {
-  for (const Piece& p : pieces) {
-    if (p.iv.contains(t)) return p.id;
-    if (p.iv.lo > t) break;
+  const PieceSlabView v = pieces.view();
+  for (std::size_t i = 0; i < v.count; ++i) {
+    if (Interval{v.lo[i], v.hi[i]}.contains(t)) return v.id[i];
+    if (v.lo[i] > t) break;
   }
   return -1;
 }
@@ -53,11 +54,9 @@ namespace {
 // Active piece index of `fn` covering the interior of (a, b), or -1.  The
 // caller sweeps elementary intervals left to right; `cursor` is advanced
 // monotonically.
-int active_id(const PiecewiseFn& fn, std::size_t& cursor, double a) {
-  while (cursor < fn.pieces.size() && fn.pieces[cursor].iv.hi <= a) ++cursor;
-  if (cursor < fn.pieces.size() && fn.pieces[cursor].iv.lo <= a) {
-    return fn.pieces[cursor].id;
-  }
+int active_id(const PieceSlabView& v, std::size_t& cursor, double a) {
+  while (cursor < v.count && v.hi[cursor] <= a) ++cursor;
+  if (cursor < v.count && v.lo[cursor] <= a) return v.id[cursor];
   return -1;
 }
 
@@ -72,14 +71,16 @@ void overlay_into(const PiecewiseFn& f, const PiecewiseFn& g,
                   PiecePool& pool) {
   std::vector<double>& events = pool.events;
   events.clear();
-  auto push_events = [&events](const PiecewiseFn& fn) {
-    for (const Piece& p : fn.pieces) {
-      events.push_back(p.iv.lo);
-      if (!std::isinf(p.iv.hi)) events.push_back(p.iv.hi);
+  const PieceSlabView fv = f.pieces.view();
+  const PieceSlabView gv = g.pieces.view();
+  auto push_events = [&events](const PieceSlabView& v) {
+    for (std::size_t i = 0; i < v.count; ++i) {
+      events.push_back(v.lo[i]);
+      if (!std::isinf(v.hi[i])) events.push_back(v.hi[i]);
     }
   };
-  push_events(f);
-  push_events(g);
+  push_events(fv);
+  push_events(gv);
   std::sort(events.begin(), events.end());
   events.erase(std::unique(events.begin(), events.end()), events.end());
   events.push_back(kInfinity);
@@ -90,8 +91,8 @@ void overlay_into(const PiecewiseFn& f, const PiecewiseFn& g,
   for (std::size_t i = 0; i + 1 < events.size(); ++i) {
     double a = events[i], b = events[i + 1];
     if (!(b > a)) continue;
-    int fa = active_id(f, fc, a);
-    int ga = active_id(g, gc, a);
+    int fa = active_id(fv, fc, a);
+    int ga = active_id(gv, gc, a);
     if (fa < 0 && ga < 0) continue;
     if (!cells.empty() && cells.back().a == fa && cells.back().b == ga &&
         cells.back().iv.hi == a) {
@@ -109,10 +110,10 @@ std::vector<Cell> overlay(const PiecewiseFn& f, const PiecewiseFn& g) {
 }
 
 void coalesce(PiecewiseFn& fn) {
-  std::vector<Piece> out;
+  PieceSlab out;
   for (const Piece& p : fn.pieces) {
-    if (!out.empty() && out.back().id == p.id && out.back().iv.hi == p.iv.lo) {
-      out.back().iv.hi = p.iv.hi;
+    if (!out.empty() && out.back_id() == p.id && out.back_hi() == p.iv.lo) {
+      out.set_back_hi(p.iv.hi);
     } else {
       out.push_back(p);
     }

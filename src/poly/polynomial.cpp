@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "poly/kernels.hpp"
 #include "support/assert.hpp"
 
 namespace dyncg {
@@ -48,21 +49,6 @@ void Polynomial::trim() {
   }
 }
 
-double Polynomial::leading_coefficient() const {
-  return coeffs_.empty() ? 0.0 : coeffs_.back();
-}
-
-double Polynomial::coefficient(int i) const {
-  if (i < 0 || i >= static_cast<int>(coeffs_.size())) return 0.0;
-  return coeffs_[static_cast<std::size_t>(i)];
-}
-
-double Polynomial::operator()(double t) const {
-  double v = 0.0;
-  for (std::size_t i = coeffs_.size(); i-- > 0;) v = v * t + coeffs_[i];
-  return v;
-}
-
 Polynomial Polynomial::derivative() const {
   if (coeffs_.size() <= 1) return Polynomial();
   std::vector<double> d(coeffs_.size() - 1);
@@ -99,9 +85,9 @@ Polynomial Polynomial::operator*(const Polynomial& o) const {
 
 void Polynomial::assign_difference(const Polynomial& a, const Polynomial& b) {
   DYNCG_ASSERT(&a != this && &b != this, "assign_difference: aliased operand");
-  coeffs_.assign(std::max(a.coeffs_.size(), b.coeffs_.size()), 0.0);
-  for (std::size_t i = 0; i < a.coeffs_.size(); ++i) coeffs_[i] += a.coeffs_[i];
-  for (std::size_t i = 0; i < b.coeffs_.size(); ++i) coeffs_[i] -= b.coeffs_[i];
+  coeffs_.resize(std::max(a.coeffs_.size(), b.coeffs_.size()));
+  kernels::diff_coeffs(a.coeffs_.data(), a.coeffs_.size(), b.coeffs_.data(),
+                       b.coeffs_.size(), coeffs_.data());
   trim();
 }
 
@@ -111,11 +97,50 @@ void Polynomial::assign_derivative(const Polynomial& p) {
     coeffs_.clear();
     return;
   }
-  coeffs_.assign(p.coeffs_.size() - 1, 0.0);
-  for (std::size_t i = 1; i < p.coeffs_.size(); ++i) {
-    coeffs_[i - 1] = p.coeffs_[i] * static_cast<double>(i);
+  coeffs_.resize(p.coeffs_.size() - 1);
+  kernels::derivative_coeffs(p.coeffs_.data(), p.coeffs_.size(),
+                             coeffs_.data());
+  trim();
+}
+
+Polynomial& Polynomial::operator+=(const Polynomial& o) {
+  if (o.coeffs_.size() > coeffs_.size()) coeffs_.resize(o.coeffs_.size(), 0.0);
+  kernels::add_coeffs(coeffs_.data(), o.coeffs_.data(), o.coeffs_.size());
+  trim();
+  return *this;
+}
+
+Polynomial& Polynomial::operator-=(const Polynomial& o) {
+  if (o.coeffs_.size() > coeffs_.size()) coeffs_.resize(o.coeffs_.size(), 0.0);
+  kernels::sub_coeffs(coeffs_.data(), o.coeffs_.data(), o.coeffs_.size());
+  trim();
+  return *this;
+}
+
+Polynomial& Polynomial::operator*=(const Polynomial& o) {
+  if (&o == this) return *this = *this * o;  // aliasing: no in-place order
+  if (coeffs_.empty() || o.coeffs_.empty()) {
+    coeffs_.clear();
+    return *this;
+  }
+  const std::size_t na = coeffs_.size();
+  const std::size_t nb = o.coeffs_.size();
+  coeffs_.resize(na + nb - 1, 0.0);
+  // Fill out[k] for k descending: every read coeffs_[i] with i <= k is still
+  // an original coefficient of *this, and accumulating i ascending keeps the
+  // association order of the allocating convolution, so the product is
+  // bit-identical to operator*.
+  for (std::size_t k = na + nb - 1; k-- > 0;) {
+    double acc = 0.0;
+    const std::size_t i_lo = k >= nb ? k - nb + 1 : 0;
+    const std::size_t i_hi = std::min(k, na - 1);
+    for (std::size_t i = i_lo; i <= i_hi; ++i) {
+      acc += coeffs_[i] * o.coeffs_[k - i];
+    }
+    coeffs_[k] = acc;
   }
   trim();
+  return *this;
 }
 
 Polynomial Polynomial::operator*(double s) const {
@@ -125,21 +150,6 @@ Polynomial Polynomial::operator*(double s) const {
 }
 
 Polynomial Polynomial::operator-() const { return *this * -1.0; }
-
-int Polynomial::sign_at_infinity() const {
-  if (coeffs_.empty()) return 0;
-  return coeffs_.back() > 0 ? 1 : -1;
-}
-
-double Polynomial::root_bound() const {
-  if (coeffs_.size() <= 1) return 0.0;
-  double lead = std::fabs(coeffs_.back());
-  double maxq = 0.0;
-  for (std::size_t i = 0; i + 1 < coeffs_.size(); ++i) {
-    maxq = std::max(maxq, std::fabs(coeffs_[i]) / lead);
-  }
-  return 1.0 + maxq;
-}
 
 std::string Polynomial::to_string() const {
   if (coeffs_.empty()) return "0";

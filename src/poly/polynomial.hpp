@@ -1,5 +1,7 @@
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -32,15 +34,27 @@ class Polynomial {
 
   bool is_zero() const { return coeffs_.empty(); }
 
-  double leading_coefficient() const;
+  // The accessors below are inline: the envelope and root-isolation hot
+  // loops read coefficients and evaluate millions of times per build, and
+  // an out-of-line call costs more than the body.
+  double leading_coefficient() const {
+    return coeffs_.empty() ? 0.0 : coeffs_.back();
+  }
 
   // Coefficient of t^i (zero when i exceeds the degree).
-  double coefficient(int i) const;
+  double coefficient(int i) const {
+    if (i < 0 || i >= static_cast<int>(coeffs_.size())) return 0.0;
+    return coeffs_[static_cast<std::size_t>(i)];
+  }
 
   const std::vector<double>& coefficients() const { return coeffs_; }
 
   // Horner evaluation.
-  double operator()(double t) const;
+  double operator()(double t) const {
+    double v = 0.0;
+    for (std::size_t i = coeffs_.size(); i-- > 0;) v = v * t + coeffs_[i];
+    return v;
+  }
 
   Polynomial derivative() const;
 
@@ -50,9 +64,13 @@ class Polynomial {
   Polynomial operator*(double s) const;
   Polynomial operator-() const;
 
-  Polynomial& operator+=(const Polynomial& o) { return *this = *this + o; }
-  Polynomial& operator-=(const Polynomial& o) { return *this = *this - o; }
-  Polynomial& operator*=(const Polynomial& o) { return *this = *this * o; }
+  // True in-place compound forms: no temporary polynomial is built.  The
+  // element order matches the allocating operators exactly (the in-place
+  // product accumulates out[k] with i ascending, the same association order
+  // as the i-then-j convolution), so the results are bit-identical.
+  Polynomial& operator+=(const Polynomial& o);
+  Polynomial& operator-=(const Polynomial& o);
+  Polynomial& operator*=(const Polynomial& o);
 
   // Scratch-reusing recomputations for the pooled hot paths (roots.hpp's
   // RootScratch): identical results to `a - b` / `p.derivative()`, but the
@@ -69,10 +87,21 @@ class Polynomial {
   // This is the Lemma 5.1 primitive: a steady-state comparison of two
   // polynomials is the sign at infinity of their difference, computable in
   // O(1) time from the leading coefficient.
-  int sign_at_infinity() const;
+  int sign_at_infinity() const {
+    if (coeffs_.empty()) return 0;
+    return coeffs_.back() > 0 ? 1 : -1;
+  }
 
   // Cauchy bound: all real roots lie in [-B, B].  Returns 0 for constants.
-  double root_bound() const;
+  double root_bound() const {
+    if (coeffs_.size() <= 1) return 0.0;
+    double lead = std::fabs(coeffs_.back());
+    double maxq = 0.0;
+    for (std::size_t i = 0; i + 1 < coeffs_.size(); ++i) {
+      maxq = std::max(maxq, std::fabs(coeffs_[i]) / lead);
+    }
+    return 1.0 + maxq;
+  }
 
   // Human-readable form, e.g. "3 - t + 2 t^2".
   std::string to_string() const;

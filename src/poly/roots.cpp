@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "poly/kernels.hpp"
 #include "support/assert.hpp"
 
 namespace dyncg {
@@ -108,10 +109,17 @@ void roots_rec_into(const Polynomial& p, double lo, double hi, double scale,
   }
   if (hi > lv.knots.back()) lv.knots.push_back(hi);
 
+  // One batched sweep evaluates p at every knot; the scalar loop evaluated
+  // each interior knot twice (as fb then fa) with identical results, so
+  // reading the shared value is bit-identical.
+  lv.vals.resize(lv.knots.size());
+  kernels::horner_many(p.coefficients().data(), p.coefficients().size(),
+                       lv.knots.data(), lv.knots.size(), lv.vals.data());
+
   double tol = kAbsTol * scale;
   for (std::size_t i = 0; i + 1 < lv.knots.size(); ++i) {
     double a = lv.knots[i], b = lv.knots[i + 1];
-    double fa = p(a), fb = p(b);
+    double fa = lv.vals[i], fb = lv.vals[i + 1];
     bool za = std::fabs(fa) <= tol, zb = std::fabs(fb) <= tol;
     if (za) out.push_back(a);
     if (zb && i + 2 == lv.knots.size()) out.push_back(b);

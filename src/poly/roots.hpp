@@ -30,6 +30,7 @@ struct RootScratch {
     Polynomial deriv;
     std::vector<double> crit;
     std::vector<double> knots;
+    std::vector<double> vals;  // p at each knot, one batched evaluation
   };
   Polynomial diff;
   std::vector<Level> levels;

@@ -67,6 +67,7 @@
 #include <string>
 #include <vector>
 
+#include "poly/kernels.hpp"
 #include "serve/engine.hpp"
 #include "serve/protocol.hpp"
 #include "support/build_info.hpp"
@@ -230,6 +231,12 @@ std::string stamp_git_rev() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Resolve the numeric-kernel dispatch up front so a typo'd DYNCG_SIMD is
+  // a usage error here, not a mid-run abort in the oracle recompute.
+  if (Status s = kernels::init_simd_from_env(); !s.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", s.message().c_str());
+    return 2;
+  }
   int port = -1;
   std::string port_file;
   std::vector<std::string> ops = {"neighbor", "pairs", "collisions"};
@@ -578,6 +585,8 @@ int main(int argc, char** argv) {
   w.begin_object();
   w.key("threads");
   w.value(std::uint64_t{host_threads()});
+  w.key("dispatch");
+  w.value(kernels::active_simd_name());
   w.end_object();
   w.key("faults");
   w.begin_object();

@@ -4,9 +4,9 @@
 //
 //   dyncg_serve [--port N] [--port-file PATH] [--queue-cap N]
 //               [--batch-cap N] [--cache-cap N] [--max-line BYTES]
-//               [--max-conns N] [--threads T] [--trace-out FILE]
-//               [--metrics-out FILE] [--metrics-interval SECONDS]
-//               [--list-ops]
+//               [--max-conns N] [--threads T] [--simd MODE]
+//               [--trace-out FILE] [--metrics-out FILE]
+//               [--metrics-interval SECONDS] [--list-ops]
 //
 // Options:
 //   --port N          TCP port; 0 (default) picks an ephemeral port
@@ -21,6 +21,9 @@
 //   --threads T       host threads for batch compute (0 = all hardware
 //                     threads; overrides DYNCG_THREADS; default 1).  Never
 //                     changes any response byte — docs/PARALLELISM.md.
+//   --simd MODE       numeric-kernel dispatch: scalar|avx2|auto (overrides
+//                     DYNCG_SIMD; default auto).  Never changes any
+//                     response byte — docs/PERFORMANCE.md#simd-kernels.
 //   --trace-out FILE  record serve.batch/serve.query spans; written at
 //                     shutdown (Chrome trace or .jsonl) and on demand via
 //                     the flush_trace op or SIGUSR1 (write-and-clear)
@@ -42,6 +45,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "poly/kernels.hpp"
 #include "serve/server.hpp"
 #include "support/build_info.hpp"
 #include "support/metrics.hpp"
@@ -67,8 +71,9 @@ void on_flush_signal(int) {
                "usage: dyncg_serve [--port N] [--port-file PATH] "
                "[--queue-cap N] [--batch-cap N] [--cache-cap N] "
                "[--max-line BYTES] [--max-conns N] [--threads T] "
-               "[--trace-out FILE] [--metrics-out FILE] "
-               "[--metrics-interval SECONDS] [--list-ops]\n");
+               "[--simd scalar|avx2|auto] [--trace-out FILE] "
+               "[--metrics-out FILE] [--metrics-interval SECONDS] "
+               "[--list-ops]\n");
   std::exit(2);
 }
 
@@ -101,6 +106,12 @@ long parse_long(const std::string& flag, const char* tok, long min_value,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Resolve DYNCG_SIMD before serving so a typo is a usage error here
+  // rather than an abort inside the first batch (--simd overrides it).
+  if (Status s = kernels::init_simd_from_env(); !s.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", s.message().c_str());
+    return 2;
+  }
   serve::ServerOptions opt;
   std::string trace_out;
   for (int i = 1; i < argc; ++i) {
@@ -149,6 +160,11 @@ int main(int argc, char** argv) {
     } else if (a == "--threads") {
       set_host_threads(
           static_cast<unsigned>(parse_long(a, next().c_str(), 0, 1024)));
+    } else if (a == "--simd") {
+      if (Status s = kernels::set_simd_mode(next()); !s.is_ok()) {
+        std::fprintf(stderr, "error: %s\n", s.message().c_str());
+        usage();
+      }
     } else if (a == "--trace-out") {
       trace_out = next();
       if (trace_out.empty()) usage();

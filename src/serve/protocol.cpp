@@ -22,6 +22,22 @@ constexpr int kDefaultK = 2;
 
 Status bad(const std::string& msg) { return Status::invalid_argument(msg); }
 
+// The JSON layer preserves duplicate members (json::Value::object is an
+// ordered vector); last-wins coercion would make a request mean something
+// its author may not have written, so duplicates are rejected outright.
+// O(n^2) over a request's handful of fields.
+Status check_duplicate_members(const json::Value& obj, const char* what) {
+  for (std::size_t i = 0; i < obj.object.size(); ++i) {
+    for (std::size_t j = i + 1; j < obj.object.size(); ++j) {
+      if (obj.object[i].first == obj.object[j].first) {
+        return bad(std::string("duplicate ") + what + " field '" +
+                   obj.object[i].first + "'");
+      }
+    }
+  }
+  return Status::ok();
+}
+
 // JSON numbers arrive as doubles; integer fields must hold exactly.
 bool to_index(const json::Value& v, std::uint64_t max, std::uint64_t* out) {
   if (!v.is_number() || v.number < 0 ||
@@ -45,6 +61,9 @@ struct Scenario {
 
 Status parse_scenario(const json::Value& v, Scenario* out) {
   if (!v.is_object()) return bad("'scenario' must be an object");
+  if (Status st = check_duplicate_members(v, "scenario"); !st.is_ok()) {
+    return st;
+  }
   for (const auto& [name, member] : v.object) {
     if (name == "seed") {
       std::uint64_t x;
@@ -102,8 +121,10 @@ Status parse_scenario(const json::Value& v, Scenario* out) {
           std::vector<double> c;
           c.reserve(poly.array.size());
           for (const json::Value& coeff : poly.array) {
-            if (!coeff.is_number()) {
-              return bad("polynomial coefficients must be numbers");
+            // strtod turns "1e999" into infinity; a non-finite coefficient
+            // would poison every downstream comparison, so reject it here.
+            if (!coeff.is_number() || !std::isfinite(coeff.number)) {
+              return bad("polynomial coefficients must be finite numbers");
             }
             c.push_back(coeff.number);
           }
@@ -213,6 +234,9 @@ StatusOr<Request> parse_request(const std::string& line) {
     return Status::parse_error("request is not valid JSON: " + err);
   }
   if (!root.is_object()) return bad("request must be a JSON object");
+  if (Status st = check_duplicate_members(root, "request"); !st.is_ok()) {
+    return st;
+  }
 
   Request r;
   bool has_op = false;
@@ -274,10 +298,19 @@ StatusOr<Request> parse_request(const std::string& line) {
                    std::to_string(kMaxDimension) + " numbers");
       }
       for (const json::Value& dim : member.array) {
-        if (!dim.is_number()) return bad("'box' entries must be numbers");
+        if (!dim.is_number() || !std::isfinite(dim.number)) {
+          return bad("'box' entries must be finite numbers");
+        }
         r.box.push_back(dim.number);
       }
       r.has_box = true;
+    } else if (name == "deadline_ms") {
+      std::uint64_t x;
+      if (!to_index(member, kMaxDeadlineMs, &x) || x == 0) {
+        return bad("'deadline_ms' must be an integer in [1, " +
+                   std::to_string(kMaxDeadlineMs) + "]");
+      }
+      r.deadline_ms = x;
     } else if (name == "faults") {
       if (!member.is_string() || member.string.empty()) {
         return bad("'faults' must be a non-empty fault-spec string");
@@ -368,11 +401,16 @@ std::string render_result(const std::string& id_json, Op op,
   return w.str();
 }
 
-std::string render_error(const std::string& id_json, const Status& st) {
+std::string render_error(const std::string& id_json, const Status& st,
+                         bool draining) {
   json::Writer w;
   open_response(&w, id_json);
   w.key("status");
   w.value(status_code_name(st.code()));
+  if (draining) {
+    w.key("draining");
+    w.value(true);
+  }
   w.key("error");
   w.value(st.message());
   w.end_object();
@@ -415,6 +453,10 @@ std::string render_stats(const std::string& id_json, const ServeStats& s) {
   w.value(s.errors);
   w.key("rejected");
   w.value(s.rejected);
+  w.key("shed");
+  w.value(s.shed);
+  w.key("deadline_exceeded");
+  w.value(s.deadline_exceeded);
   w.key("batches");
   w.value(s.batches);
   w.key("hits");

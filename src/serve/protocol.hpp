@@ -51,7 +51,8 @@ inline constexpr Op kAllOps[] = {
 
 // Version of the response surface, reported by the `stats` op.  Bumped when
 // a response schema gains or reorders fields (docs/SERVING.md#versioning).
-inline constexpr std::uint64_t kServeSchemaVersion = 2;
+// v3 added the `shed` and `deadline_exceeded` stats counters.
+inline constexpr std::uint64_t kServeSchemaVersion = 3;
 
 // Ops that carry no scenario: liveness, stats, and admin requests.  They
 // never reach the engine or the cache.
@@ -67,6 +68,9 @@ constexpr bool is_admin_op(Op op) {
 inline constexpr std::size_t kMaxPoints = 4096;
 inline constexpr std::size_t kMaxDimension = 16;
 inline constexpr int kMaxDegree = 16;
+// Largest per-request deadline budget ("deadline_ms"); one hour, matching
+// the upper bound of the server's --deadline-ms flag.
+inline constexpr std::uint64_t kMaxDeadlineMs = 3'600'000;
 
 // A parsed, validated, materialized request.  `system` is already built
 // (generator scenarios are expanded; inline scenarios are range-checked by
@@ -84,6 +88,10 @@ struct Request {
   bool has_faults = false;
   FaultPlan faults;
   std::string faults_spec;  // canonical FaultPlan::to_string() form
+  // Per-request deadline budget in milliseconds, measured from the line's
+  // arrival at the server; 0 = inherit the server's --deadline-ms default.
+  // Like "id", it shapes scheduling, not the answer — excluded from `key`.
+  std::uint64_t deadline_ms = 0;
   std::optional<MotionSystem> system;  // absent for ping/stats
   // Canonical cache key (empty for ping/stats) and its 64-bit FNV-1a
   // fingerprint — the `key` field of responses.
@@ -116,6 +124,8 @@ struct ServeStats {
   std::uint64_t requests = 0;     // lines parsed (including errors)
   std::uint64_t errors = 0;       // error responses (parse or compute)
   std::uint64_t rejected = 0;     // admission rejections (UNAVAILABLE)
+  std::uint64_t shed = 0;         // oldest-first overload/drain sheds
+  std::uint64_t deadline_exceeded = 0;  // expired before the engine ran
   std::uint64_t batches = 0;      // batches processed
   std::uint64_t hits = 0;         // cache hits
   std::uint64_t misses = 0;       // cache misses
@@ -129,7 +139,11 @@ struct ServeStats {
 std::string render_result(const std::string& id_json, Op op,
                           const CachedResult& r, bool hit,
                           std::uint64_t fingerprint);
-std::string render_error(const std::string& id_json, const Status& st);
+// `draining` adds "draining":true after the status — the server's signal
+// that it is refusing work because SIGTERM started a graceful drain, not
+// because of overload (docs/SERVING.md#draining).
+std::string render_error(const std::string& id_json, const Status& st,
+                         bool draining = false);
 std::string render_pong(const std::string& id_json);
 std::string render_stats(const std::string& id_json, const ServeStats& s);
 // `registry_json` is metrics::to_json() output, embedded verbatim under the

@@ -27,11 +27,26 @@
 // timing, and DYNCG_THREADS — which is what the determinism tests assert.
 //
 // Admission control (docs/SERVING.md#admission).  A line that arrives while
-// the pending queue holds queue_cap entries is answered UNAVAILABLE
-// immediately and never parsed; a line longer than max_line is answered
-// INVALID_ARGUMENT and discarded up to its newline; a connection beyond
-// max_conns is told UNAVAILABLE and closed.  Rejections cost O(1) — no
-// machine is ever built for them.
+// the pending queue holds queue_cap entries sheds the *oldest* queued line
+// (answered UNAVAILABLE, never parsed) and takes its slot — under sustained
+// overload the freshest work runs and the stalest is dropped first; a line
+// longer than max_line is answered INVALID_ARGUMENT and discarded up to its
+// newline; a connection beyond max_conns is told UNAVAILABLE and closed.
+// Rejections cost O(1) — no machine is ever built for them.
+//
+// Resilience (docs/ROBUSTNESS.md#serving-resilience).  Each request carries
+// a deadline budget (the server's deadline_ms default, overridable per
+// request) measured from its arrival; expired work is answered
+// DEADLINE_EXCEEDED at dequeue or between batch passes without running the
+// engine, and never touches the cache — so cache counters stay a pure
+// function of the requests that actually completed.  Writes are
+// non-blocking with a bounded per-connection output buffer (overflow closes
+// the connection) and a stall timeout reaps connections making no read or
+// write progress, so one slow or dead peer can never wedge the loop or grow
+// memory without bound.  request_drain() (the tool's SIGTERM handler)
+// enters a draining state: stop accepting, answer new lines UNAVAILABLE
+// with "draining":true, finish or shed queued work within drain_ms, flush
+// artifacts, and return OK.
 namespace dyncg {
 namespace serve {
 
@@ -53,6 +68,20 @@ struct ServerOptions {
   unsigned metrics_interval_s = 5;
   // Reported in the `stats` response; resolved by the tool at startup.
   std::string git_rev = "unknown";
+  // Default per-request deadline budget in milliseconds, measured from the
+  // line's arrival; 0 disables.  A request's own "deadline_ms" overrides.
+  std::uint64_t deadline_ms = 0;
+  // Graceful-drain budget after request_drain(): queued work that cannot
+  // finish within drain_ms milliseconds is shed before the loop returns.
+  std::uint64_t drain_ms = 5000;
+  // Close connections that make no read or write progress for this long;
+  // 0 disables.  Defends against stalled readers and half-dead peers.
+  std::uint64_t stall_timeout_ms = 60000;
+  // Per-connection cap on buffered response bytes; exceeding it closes the
+  // connection (a reader that stops reading cannot grow memory without
+  // bound).  Also applied as the socket's SO_SNDBUF so kernel-side
+  // buffering stays within the same order of magnitude.
+  std::size_t max_out_buf = std::size_t{4} << 20;
 };
 
 class Server {
@@ -66,9 +95,14 @@ class Server {
   // socket cannot be set up, OK on a clean shutdown.
   Status run();
 
-  // Async-signal-safe stop flag (the tool's SIGTERM/SIGINT handler); the
-  // loop notices within its poll timeout, flushes, and returns.
+  // Async-signal-safe stop flag (the tool's SIGINT handler); the loop
+  // notices within its poll timeout, flushes, and returns immediately.
   void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  // Async-signal-safe drain flag (the tool's SIGTERM handler); the loop
+  // stops accepting, finishes or sheds queued work within options.drain_ms,
+  // flushes artifacts, and returns OK (docs/SERVING.md#draining).
+  void request_drain() { drain_.store(true, std::memory_order_relaxed); }
 
   // Async-signal-safe trace-flush flag (the tool's SIGUSR1 handler); the
   // loop write-and-clears options.trace_out within its poll timeout.
@@ -79,7 +113,9 @@ class Server {
   // Live counters (also served by the `stats` op and printed at shutdown).
   ServeStats stats() const;
 
-  int port() const { return port_; }
+  // Resolved listening port; readable from other threads once nonzero
+  // (in-process tests poll it while run() executes on its own thread).
+  int port() const { return port_.load(std::memory_order_acquire); }
 
  private:
   struct Connection {
@@ -88,10 +124,16 @@ class Server {
     std::string out;       // rendered responses awaiting write
     bool skipping = false; // discarding an over-long line up to its newline
     bool closed = false;
+    // Last moment this peer made read or write progress; the stall reaper
+    // compares it against options.stall_timeout_ms each loop iteration.
+    std::chrono::steady_clock::time_point last_progress;
   };
   struct Pending {
     std::size_t conn;      // index into conns_
     std::string line;
+    // When the line was split out of the read buffer — the zero point of
+    // its deadline budget and the age key for oldest-first shedding.
+    std::chrono::steady_clock::time_point arrival;
   };
 
   Status setup_listener();
@@ -101,12 +143,20 @@ class Server {
   void take_lines(std::size_t ci);
   void process_batch();
   void respond(std::size_t ci, const std::string& line);
+  void shed_oldest(const std::string& why);
+  void reap_stalled();
+  // Transition into the draining state once drain_ is set; called between
+  // poll iterations AND between batches so a deep queue cannot delay it.
+  void maybe_enter_drain();
 
   ServerOptions opt_;
   int listen_fd_ = -1;
-  int port_ = 0;
+  std::atomic<int> port_{0};
   std::atomic<bool> stop_{false};
+  std::atomic<bool> drain_{false};
   std::atomic<bool> flush_trace_{false};
+  bool draining_ = false;  // drain_ observed; listener closed
+  std::chrono::steady_clock::time_point drain_deadline_;
   std::chrono::steady_clock::time_point start_;
   std::chrono::steady_clock::time_point last_metrics_write_;
   std::vector<Connection> conns_;
@@ -116,6 +166,8 @@ class Server {
   std::uint64_t requests_ = 0;
   std::uint64_t errors_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t deadline_exceeded_ = 0;
   std::uint64_t batches_ = 0;
 };
 

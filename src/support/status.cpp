@@ -12,6 +12,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kUnsupported: return "UNSUPPORTED";
     case StatusCode::kUnrecoverable: return "UNRECOVERABLE";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

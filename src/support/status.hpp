@@ -28,8 +28,12 @@
 //   kUnrecoverable      7   a fault plan the delivery layer cannot route
 //                           around (partitioned machine, retries exhausted)
 //   kUnavailable        8   the server cannot take the request right now
-//                           (admission control: queue full).  Used by
+//                           (admission control: shed under overload,
+//                           connection limit, draining).  Used by
 //                           dyncg_serve responses, never by dyncg_cli.
+//   kDeadlineExceeded   9   the request's deadline budget expired before
+//                           the engine ran it (docs/ROBUSTNESS.md
+//                           #serving-resilience).  Serving path only.
 namespace dyncg {
 
 enum class StatusCode : int {
@@ -41,6 +45,7 @@ enum class StatusCode : int {
   kUnsupported = 6,
   kUnrecoverable = 7,
   kUnavailable = 8,
+  kDeadlineExceeded = 9,
 };
 
 // Name of the code as it appears in messages ("INVALID_ARGUMENT", ...).
@@ -73,6 +78,9 @@ class Status {
   }
   static Status unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status deadline_exceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool is_ok() const { return code_ == StatusCode::kOk; }

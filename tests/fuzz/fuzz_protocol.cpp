@@ -1,0 +1,41 @@
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "support/status.hpp"
+
+// libFuzzer harness for the serving wire protocol (docs/ROBUSTNESS.md
+// #serving-resilience).  One input = one request line, exactly what a
+// hostile client can put on the socket; the invariant under test is that
+// parse_request and the error-rendering path never crash, never trip a
+// sanitizer, and never loop — for ANY byte string.  Accepted requests also
+// exercise the canonical-key machinery (system materialization, key
+// rendering, fingerprinting), since that code runs on attacker-controlled
+// input before any admission decision beyond the line-length cap.
+//
+// Build the fuzzer with Clang via -DDYNCG_FUZZ=ON; every build replays the
+// committed seed corpus (tests/fuzz/corpus) through this same entry point
+// as the fuzz_protocol_replay ctest — see fuzz_replay.cpp.
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::string line(reinterpret_cast<const char*>(data), size);
+  dyncg::StatusOr<dyncg::serve::Request> r =
+      dyncg::serve::parse_request(line);
+  if (r.is_ok()) {
+    const dyncg::serve::Request& req = r.value();
+    // The key must be renderable and consistent with its fingerprint for
+    // any accepted request (admin ops carry neither).
+    if (!dyncg::serve::is_admin_op(req.op) && req.key.empty()) {
+      __builtin_trap();
+    }
+    volatile std::size_t sink = req.key.size() + req.id_json.size();
+    (void)sink;
+  } else {
+    // The rejection must render into a well-formed single-line response.
+    std::string err = dyncg::serve::render_error("1", r.status());
+    if (err.empty() || err.find('\n') != std::string::npos) __builtin_trap();
+  }
+  return 0;
+}

@@ -175,6 +175,117 @@ TEST(ServeParse, RejectsMixedAndMisappliedFields) {
             StatusCode::kParseError);
 }
 
+TEST(ServeParse, RejectsHostileEncodings) {
+  // Protocol hardening (docs/ROBUSTNESS.md#serving-resilience): duplicate
+  // members, non-finite numbers, and out-of-range integers are rejected at
+  // parse time with the pinned codes — never silently last-wins or clamped.
+  struct RejectCase {
+    const char* name;
+    const char* line;
+    StatusCode code;
+  };
+  const RejectCase kCases[] = {
+      {"duplicate op",
+       "{\"op\":\"ping\",\"op\":\"stats\"}",
+       StatusCode::kInvalidArgument},
+      {"duplicate scenario",
+       "{\"op\":\"neighbor\",\"scenario\":{},\"scenario\":{\"n\":4}}",
+       StatusCode::kInvalidArgument},
+      {"duplicate id",
+       "{\"op\":\"ping\",\"id\":1,\"id\":2}",
+       StatusCode::kInvalidArgument},
+      {"duplicate scenario member",
+       "{\"op\":\"neighbor\",\"scenario\":{\"n\":4,\"n\":8}}",
+       StatusCode::kInvalidArgument},
+      {"duplicate deadline_ms",
+       "{\"op\":\"ping\",\"deadline_ms\":5,\"deadline_ms\":6}",
+       StatusCode::kInvalidArgument},
+      // strtod parses "1e999" as infinity without a JSON-level error; the
+      // protocol refuses to materialize a system from it.
+      {"infinite coefficient",
+       "{\"op\":\"neighbor\",\"scenario\":{\"points\":[[[1e999],[0]]],"
+       "\"d\":2}}",
+       StatusCode::kInvalidArgument},
+      {"negative-infinite coefficient",
+       "{\"op\":\"neighbor\",\"scenario\":{\"points\":[[[-1e999],[0]]],"
+       "\"d\":2}}",
+       StatusCode::kInvalidArgument},
+      {"infinite box entry",
+       "{\"op\":\"contain\",\"scenario\":{},\"box\":[1e999,1]}",
+       StatusCode::kInvalidArgument},
+      {"deadline_ms zero",
+       "{\"op\":\"ping\",\"deadline_ms\":0}",
+       StatusCode::kInvalidArgument},
+      {"deadline_ms above one hour",
+       "{\"op\":\"ping\",\"deadline_ms\":3600001}",
+       StatusCode::kInvalidArgument},
+      {"deadline_ms fractional",
+       "{\"op\":\"ping\",\"deadline_ms\":1.5}",
+       StatusCode::kInvalidArgument},
+      {"deadline_ms wrong type",
+       "{\"op\":\"ping\",\"deadline_ms\":\"fast\"}",
+       StatusCode::kInvalidArgument},
+      {"deadline_ms negative",
+       "{\"op\":\"ping\",\"deadline_ms\":-1}",
+       StatusCode::kInvalidArgument},
+      {"seed overflows its 2^40 cap",
+       "{\"op\":\"neighbor\",\"scenario\":{\"seed\":1e300}}",
+       StatusCode::kInvalidArgument},
+  };
+  for (const RejectCase& c : kCases) {
+    StatusOr<Request> r = parse(c.line);
+    ASSERT_FALSE(r.is_ok()) << c.name << ": accepted " << c.line;
+    EXPECT_EQ(r.status().code(), c.code)
+        << c.name << ": " << r.status().to_string();
+  }
+}
+
+TEST(ServeParse, DeadlineBudgetAcceptedAndExcludedFromKey) {
+  // The full documented range is accepted...
+  EXPECT_EQ(parse("{\"op\":\"ping\",\"deadline_ms\":1}").value().deadline_ms,
+            1u);
+  EXPECT_EQ(
+      parse("{\"op\":\"ping\",\"deadline_ms\":3600000}").value().deadline_ms,
+      3600000u);
+  // ...and like "id", the budget shapes scheduling, not the answer: two
+  // requests differing only in deadline_ms share one cache entry.
+  Request plain = parse("{\"op\":\"neighbor\",\"scenario\":{}}").value();
+  Request budgeted =
+      parse("{\"op\":\"neighbor\",\"scenario\":{},\"deadline_ms\":250}")
+          .value();
+  EXPECT_EQ(budgeted.deadline_ms, 250u);
+  EXPECT_EQ(plain.key, budgeted.key);
+  EXPECT_EQ(plain.fingerprint, budgeted.fingerprint);
+}
+
+// --- response rendering ------------------------------------------------------
+
+TEST(ServeRender, StatsV3PinnedFieldOrder) {
+  // Schema v3 inserted "shed" and "deadline_exceeded" between "rejected"
+  // and "batches"; the order is part of the contract
+  // (docs/SERVING.md#the-stats-op).
+  ServeStats s;
+  s.rejected = 2;
+  s.shed = 3;
+  s.deadline_exceeded = 4;
+  s.batches = 5;
+  std::string line = render_stats("", s);
+  EXPECT_NE(line.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(line.find("\"rejected\":2,\"shed\":3,"
+                      "\"deadline_exceeded\":4,\"batches\":5"),
+            std::string::npos)
+      << line;
+}
+
+TEST(ServeRender, ErrorDrainingFlagForm) {
+  Status st = Status::unavailable("draining");
+  EXPECT_EQ(render_error("7", st, true),
+            "{\"id\":7,\"status\":\"UNAVAILABLE\",\"draining\":true,"
+            "\"error\":\"draining\"}");
+  // Without the flag the member is absent, not false.
+  EXPECT_EQ(render_error("7", st).find("draining\":"), std::string::npos);
+}
+
 // --- canonical keys ----------------------------------------------------------
 
 TEST(ScenarioKey, BitExactAndStructural) {

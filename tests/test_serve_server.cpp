@@ -1,0 +1,403 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "support/json.hpp"
+#include "support/status.hpp"
+
+// In-process tests for the server loop's resilience machinery
+// (docs/ROBUSTNESS.md#serving-resilience): admission boundaries at
+// queue_cap / max_conns / max_line, deadline budgets, graceful drain,
+// slow-client defenses.  Each test runs a real Server on its own thread,
+// speaks the wire protocol over loopback sockets, and asserts exact
+// response sequences — the protocol-level contracts the shell-script gates
+// (serve_e2e.sh, serve_chaos.sh) can only probe statistically.
+namespace dyncg {
+namespace serve {
+namespace {
+
+// Server on a background thread; port() is polled until the listener is up.
+class TestServer {
+ public:
+  explicit TestServer(ServerOptions opt) : server_(opt) {
+    thread_ = std::thread([this] { status_ = server_.run(); });
+    while (server_.port() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ~TestServer() {
+    if (thread_.joinable()) {
+      server_.request_stop();
+      thread_.join();
+    }
+  }
+  Server& server() { return server_; }
+  int port() const { return server_.port(); }
+  Status join() {
+    thread_.join();
+    return status_;
+  }
+
+ private:
+  Server server_;
+  Status status_ = Status::ok();
+  std::thread thread_;
+};
+
+// Blocking loopback client with line framing.
+class Client {
+ public:
+  explicit Client(int port, int rcvbuf = 0) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    if (rcvbuf > 0) {
+      setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      close(fd_);
+      fd_ = -1;  // send_raw/recv_line fail loudly in the test body
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  // Send raw bytes (the caller supplies newlines, so several requests can
+  // go out in one write and land in one server read burst).
+  bool send_raw(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      ssize_t n = write(fd_, bytes.data() + off, bytes.size() - off);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  // Next response line; empty string on EOF / reset.
+  std::string recv_line() {
+    for (;;) {
+      std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[65536];
+      ssize_t n = read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) return "";
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  std::string round_trip(const std::string& request) {
+    if (!send_raw(request + "\n")) return "";
+    return recv_line();
+  }
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+std::string status_of(const std::string& response) {
+  json::Value v;
+  if (!json::parse(response, &v)) return "<unparseable>";
+  const json::Value* s = v.find("status");
+  return s != nullptr && s->is_string() ? s->string : "<missing>";
+}
+
+std::uint64_t stat_counter(Client& c, const std::string& key) {
+  std::string line = c.round_trip("{\"op\":\"stats\"}");
+  json::Value v;
+  if (!json::parse(line, &v)) return ~std::uint64_t{0};
+  const json::Value* stats = v.find("stats");
+  if (stats == nullptr) return ~std::uint64_t{0};
+  const json::Value* x = stats->find(key);
+  return x != nullptr && x->is_number() ? static_cast<std::uint64_t>(x->number)
+                                        : ~std::uint64_t{0};
+}
+
+// A request the engine takes tens of milliseconds to answer — long enough
+// that work queued behind it observably waits.
+std::string heavy(int seed) {
+  return "{\"op\":\"neighbor\",\"id\":\"h" + std::to_string(seed) +
+         "\",\"scenario\":{\"seed\":" + std::to_string(seed) +
+         ",\"n\":4096,\"k\":2}}";
+}
+
+// --- admission boundaries ----------------------------------------------------
+
+TEST(ServeAdmission, LineCapBoundary) {
+  ServerOptions opt;
+  opt.max_line = 128;
+  TestServer ts(opt);
+  Client c(ts.port());
+
+  // Exactly max_line bytes (newline excluded) is admitted...
+  std::string line = "{\"op\":\"ping\",\"id\":\"";
+  line.append(opt.max_line - line.size() - 2, 'x');
+  line += "\"}";
+  ASSERT_EQ(line.size(), opt.max_line);
+  EXPECT_EQ(status_of(c.round_trip(line)), "OK");
+
+  // ...one byte more is INVALID_ARGUMENT, and the connection survives.
+  std::string over = "{\"op\":\"ping\",\"id\":\"";
+  over.append(opt.max_line - over.size() - 1, 'x');
+  over += "\"}";
+  ASSERT_EQ(over.size(), opt.max_line + 1);
+  std::string resp = c.round_trip(over);
+  EXPECT_EQ(status_of(resp), "INVALID_ARGUMENT");
+  EXPECT_NE(resp.find("max_line"), std::string::npos);
+  EXPECT_EQ(status_of(c.round_trip("{\"op\":\"ping\"}")), "OK");
+}
+
+TEST(ServeAdmission, QueueCapShedsOldestFirst) {
+  ServerOptions opt;
+  opt.queue_cap = 4;
+  TestServer ts(opt);
+  Client c(ts.port());
+
+  // Six requests in one write arrive as one read burst, which take_lines
+  // admits synchronously before any batch runs: lines 1-4 fill the queue,
+  // line 5 sheds line 1, line 6 sheds line 2.  Shed answers are rendered
+  // immediately (before the batch), so the response order is pinned:
+  // two UNAVAILABLE sheds, then OK for ids 3..6.
+  std::string burst;
+  for (int i = 1; i <= 6; ++i) {
+    burst += "{\"op\":\"ping\",\"id\":" + std::to_string(i) + "}\n";
+  }
+  ASSERT_TRUE(c.send_raw(burst));
+  std::vector<std::string> responses;
+  for (int i = 0; i < 6; ++i) responses.push_back(c.recv_line());
+
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(status_of(responses[i]), "UNAVAILABLE") << responses[i];
+    EXPECT_NE(responses[i].find("queue cap"), std::string::npos);
+  }
+  for (int i = 2; i < 6; ++i) {
+    EXPECT_EQ(status_of(responses[i]), "OK") << responses[i];
+    EXPECT_NE(responses[i].find("\"id\":" + std::to_string(i + 1)),
+              std::string::npos)
+        << responses[i];
+  }
+  EXPECT_EQ(stat_counter(c, "shed"), 2u);
+}
+
+TEST(ServeAdmission, ConnLimitBoundary) {
+  ServerOptions opt;
+  opt.max_conns = 2;
+  TestServer ts(opt);
+
+  // Exactly max_conns clients are served concurrently...
+  Client c1(ts.port());
+  Client c2(ts.port());
+  EXPECT_EQ(status_of(c1.round_trip("{\"op\":\"ping\"}")), "OK");
+  EXPECT_EQ(status_of(c2.round_trip("{\"op\":\"ping\"}")), "OK");
+
+  // ...the next connect is told UNAVAILABLE and closed.
+  {
+    Client c3(ts.port());
+    std::string bye = c3.recv_line();
+    EXPECT_EQ(status_of(bye), "UNAVAILABLE") << bye;
+    EXPECT_NE(bye.find("connection limit"), std::string::npos);
+    EXPECT_EQ(c3.recv_line(), "");  // EOF
+  }
+}
+
+// --- deadlines ---------------------------------------------------------------
+
+TEST(ServeDeadline, ExpiredAtDequeueWithoutTouchingCache) {
+  ServerOptions opt;
+  opt.batch_cap = 1;  // the victim waits behind the heavy request
+  TestServer ts(opt);
+  Client c(ts.port());
+
+  const char* victim =
+      "{\"op\":\"neighbor\",\"id\":\"v\",\"scenario\":"
+      "{\"seed\":7,\"n\":6,\"k\":1},\"deadline_ms\":1}";
+  ASSERT_TRUE(c.send_raw(heavy(1) + "\n" + victim + "\n"));
+  std::string first = c.recv_line();
+  EXPECT_EQ(status_of(first), "OK") << first;
+  std::string second = c.recv_line();
+  EXPECT_EQ(status_of(second), "DEADLINE_EXCEEDED") << second;
+  EXPECT_NE(second.find("\"id\":\"v\""), std::string::npos) << second;
+
+  // The expired request never ran and never touched the cache: the same
+  // scenario sent again (no deadline) is a miss, and the counters agree.
+  std::string retry = c.round_trip(
+      "{\"op\":\"neighbor\",\"id\":\"v2\",\"scenario\":"
+      "{\"seed\":7,\"n\":6,\"k\":1}}");
+  EXPECT_EQ(status_of(retry), "OK") << retry;
+  EXPECT_NE(retry.find("\"cache\":\"miss\""), std::string::npos) << retry;
+  EXPECT_EQ(stat_counter(c, "deadline_exceeded"), 1u);
+}
+
+TEST(ServeDeadline, ServerDefaultAppliesAndPerRequestOverrides) {
+  ServerOptions opt;
+  opt.batch_cap = 1;
+  opt.deadline_ms = 1;  // server-wide default: everything queued expires
+  TestServer ts(opt);
+  Client c(ts.port());
+
+  // The victim inherits the 1 ms server default and expires waiting behind
+  // the heavy request (which may or may not expire itself, depending on
+  // how fast it reaches the front — only the victim's fate is pinned).
+  const char* victim =
+      "{\"op\":\"ping\",\"id\":\"inherit\"}";
+  ASSERT_TRUE(c.send_raw(heavy(2) + "\n" + victim + "\n"));
+  (void)c.recv_line();  // heavy: OK or DEADLINE_EXCEEDED, both legal
+  std::string second = c.recv_line();
+  EXPECT_EQ(status_of(second), "DEADLINE_EXCEEDED") << second;
+  EXPECT_NE(second.find("\"id\":\"inherit\""), std::string::npos) << second;
+
+  // A generous per-request deadline_ms overrides the tight default.
+  std::string ride =
+      "{\"op\":\"ping\",\"id\":\"override\",\"deadline_ms\":60000}";
+  ASSERT_TRUE(c.send_raw(heavy(3) + "\n" + ride + "\n"));
+  (void)c.recv_line();
+  std::string fourth = c.recv_line();
+  EXPECT_EQ(status_of(fourth), "OK") << fourth;
+  EXPECT_NE(fourth.find("\"id\":\"override\""), std::string::npos) << fourth;
+}
+
+// --- graceful drain ----------------------------------------------------------
+
+TEST(ServeDrain, RejectsNewWorkFinishesQueuedAndExitsOk) {
+  ServerOptions opt;
+  opt.batch_cap = 1;
+  opt.drain_ms = 30000;  // ample: everything queued must complete
+  TestServer ts(opt);
+  Client c(ts.port());
+
+  // ~1.5 s of queued heavy work keeps the server draining long enough to
+  // observe the draining rejection deterministically.
+  std::string burst;
+  for (int i = 0; i < 30; ++i) burst += heavy(100 + i) + "\n";
+  ASSERT_TRUE(c.send_raw(burst));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ts.server().request_drain();
+  // The drain flag is observed between batches; this line arrives while
+  // the server is still chewing through the queued heavies, so by the time
+  // it is read, draining_ is set and the rejection is deterministic.  Its
+  // response is rendered after the heavies' (the batch loop does not poll),
+  // so it is read last.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ASSERT_TRUE(c.send_raw("{\"op\":\"ping\",\"id\":\"late\"}\n"));
+
+  // All 30 queued heavies still complete OK, in order...
+  int ok = 0;
+  for (int i = 0; i < 30; ++i) {
+    std::string r = c.recv_line();
+    if (status_of(r) == "OK") ++ok;
+  }
+  EXPECT_EQ(ok, 30);
+  // ...the late line is rejected with the draining marker, and the server
+  // returns cleanly.
+  std::string late = c.recv_line();
+  EXPECT_EQ(status_of(late), "UNAVAILABLE") << late;
+  EXPECT_NE(late.find("\"draining\":true"), std::string::npos) << late;
+  EXPECT_EQ(c.recv_line(), "");  // drained server closed the connection
+  Status st = ts.join();
+  EXPECT_TRUE(st.is_ok()) << st.to_string();
+}
+
+TEST(ServeDrain, BudgetExpiryShedsRemainingWork) {
+  ServerOptions opt;
+  opt.batch_cap = 1;
+  opt.drain_ms = 150;  // far less than the queued ~1.5 s of work
+  TestServer ts(opt);
+  Client c(ts.port());
+
+  std::string burst;
+  for (int i = 0; i < 30; ++i) burst += heavy(200 + i) + "\n";
+  ASSERT_TRUE(c.send_raw(burst));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ts.server().request_drain();
+
+  // Every queued line is answered exactly once: the few that beat the
+  // budget complete OK, the rest are shed UNAVAILABLE — none vanish.
+  int ok = 0;
+  int shed = 0;
+  for (int i = 0; i < 30; ++i) {
+    std::string r = c.recv_line();
+    ASSERT_NE(r, "") << "response " << i << " missing after drain";
+    std::string s = status_of(r);
+    if (s == "OK") ++ok;
+    if (s == "UNAVAILABLE") {
+      EXPECT_NE(r.find("shed while draining"), std::string::npos) << r;
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, 30);
+  EXPECT_GT(shed, 0) << "a 150 ms budget cannot fit ~1.5 s of work";
+  Status st = ts.join();
+  EXPECT_TRUE(st.is_ok()) << st.to_string();
+}
+
+// --- slow-client defenses ----------------------------------------------------
+
+TEST(ServeSlowClient, OutputBufferOverflowDisconnects) {
+  ServerOptions opt;
+  opt.max_out_buf = 2048;
+  TestServer ts(opt);
+
+  // A client that pipelines hundreds of requests and never reads: kernel
+  // buffers (SO_SNDBUF capped near max_out_buf, tiny SO_RCVBUF here) fill
+  // within a few KiB, the server-side backlog crosses max_out_buf, and the
+  // connection is cut.  The client cannot get all its answers — that IS
+  // the defense; memory stayed bounded instead.
+  Client c(ts.port(), /*rcvbuf=*/1024);
+  std::string burst;
+  for (int i = 0; i < 500; ++i) {
+    burst += "{\"op\":\"ping\",\"id\":" + std::to_string(i) + "}\n";
+  }
+  ASSERT_TRUE(c.send_raw(burst));
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  int got = 0;
+  while (!c.recv_line().empty()) ++got;
+  EXPECT_LT(got, 500);
+
+  // The server is unharmed and still answers a well-behaved client.
+  Client fresh(ts.port());
+  EXPECT_EQ(status_of(fresh.round_trip("{\"op\":\"ping\"}")), "OK");
+}
+
+TEST(ServeSlowClient, StallTimeoutReapsIdleConnectionsOnly) {
+  ServerOptions opt;
+  opt.stall_timeout_ms = 200;
+  TestServer ts(opt);
+
+  Client stalled(ts.port());
+  Client active(ts.port());
+  // `stalled` sends half a line and goes quiet; `active` keeps making
+  // progress across several stall windows and must be spared.
+  ASSERT_TRUE(stalled.send_raw("{\"op\":\"ping\","));
+  for (int i = 0; i < 6; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    EXPECT_EQ(status_of(active.round_trip("{\"op\":\"ping\"}")), "OK");
+  }
+  EXPECT_EQ(stalled.recv_line(), "");  // reaped: EOF, no response
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace dyncg

@@ -383,8 +383,9 @@ void check_serve_response(const Value& doc, std::size_t lineno) {
       require(*stats, "uptime_seconds", Value::Type::kNumber,
               where + ".stats");
       for (const char* key :
-           {"connections", "requests", "errors", "rejected", "batches",
-            "hits", "misses", "evictions", "entries"}) {
+           {"connections", "requests", "errors", "rejected", "shed",
+            "deadline_exceeded", "batches", "hits", "misses", "evictions",
+            "entries"}) {
         require(*stats, key, Value::Type::kNumber, where + ".stats");
       }
     }

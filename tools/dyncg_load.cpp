@@ -49,8 +49,13 @@
 //   --oracle           verify results against in-process recompute
 //   --threads T        host threads for the oracle recompute
 //
-// Exit codes: 0 ok; 1 I/O (connect/read/write); 2 usage; 5 malformed
-// response; 7 oracle mismatch.
+// Exit codes: 0 ok; 1 I/O (connect / file); 2 usage; 5 malformed response;
+// 7 oracle mismatch; 8 the server closed the connection mid-run (EOF or
+// EPIPE after at least one request went out — e.g. it was SIGTERMed and
+// drained, or it dropped this client as stalled; the last unanswered
+// request is printed so the failure is attributable).  SIGPIPE is ignored
+// so a write into a dead socket reports code 8 instead of killing the
+// process silently.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -59,6 +64,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -183,6 +189,32 @@ bool read_response(const std::string& line, ResponseFacts* out) {
   return true;
 }
 
+// The server hung up (EOF on read, EPIPE on write) with `request_line`
+// still unanswered.  Distinct from never connecting (exit 1): the run was
+// under way, so the caller needs to know exactly where it stopped.  The
+// pinned exit code is 8 (docs/SERVING.md#load).
+int connection_lost(const std::string& request_line) {
+  std::string what = request_line;
+  json::Value v;
+  if (json::parse(request_line, &v) && v.is_object()) {
+    if (const json::Value* id = v.find("id")) {
+      if (id->is_string()) {
+        what = "id \"" + id->string + "\"";
+      } else if (id->is_number()) {
+        json::Writer w;
+        w.value(id->number);
+        what = "id " + w.str();
+      }
+    }
+  }
+  if (what.size() > 200) what = what.substr(0, 200) + "...";
+  std::fprintf(stderr,
+               "error: server closed the connection; "
+               "last unanswered request: %s\n",
+               what.c_str());
+  return 8;
+}
+
 // --oracle: recompute the request in-process and byte-compare.
 bool oracle_check(const std::string& request_line,
                   const ResponseFacts& facts) {
@@ -231,6 +263,10 @@ std::string stamp_git_rev() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A server that drains or drops this client mid-run must surface as exit
+  // code 8 with the unanswered request printed — not as a silent SIGPIPE
+  // death halfway through a script.
+  std::signal(SIGPIPE, SIG_IGN);
   // Resolve the numeric-kernel dispatch up front so a typo'd DYNCG_SIMD is
   // a usage error here, not a mid-run abort in the oracle recompute.
   if (Status s = kernels::init_simd_from_env(); !s.is_ok()) {
@@ -371,8 +407,7 @@ int main(int argc, char** argv) {
     if (pipeline) {
       for (const std::string& l : lines) {
         if (!client.send_line(l)) {
-          std::fprintf(stderr, "error: connection lost\n");
-          rc = 1;
+          rc = connection_lost(l);
           break;
         }
       }
@@ -382,8 +417,9 @@ int main(int argc, char** argv) {
       std::string response;
       if ((!pipeline && !client.send_line(line)) ||
           !client.recv_line(&response)) {
-        std::fprintf(stderr, "error: connection lost\n");
-        rc = 1;
+        // In pipeline mode lines[li] is the oldest request still awaiting
+        // its response — exactly the one the server never answered.
+        rc = connection_lost(line);
         break;
       }
       ResponseFacts facts;
@@ -464,8 +500,7 @@ int main(int argc, char** argv) {
       const clock::time_point a = clock::now();
       std::string response;
       if (!client.send_line(p.line) || !client.recv_line(&response)) {
-        std::fprintf(stderr, "error: connection lost\n");
-        return 1;
+        return connection_lost(p.line);
       }
       latency_ms.push_back(
           std::chrono::duration<double, std::milli>(clock::now() - a)
@@ -501,8 +536,7 @@ int main(int argc, char** argv) {
   {
     if (!client.send_line("{\"op\":\"stats\"}") ||
         !client.recv_line(&stats_line)) {
-      std::fprintf(stderr, "error: connection lost on stats\n");
-      return 1;
+      return connection_lost("{\"op\":\"stats\"}");
     }
     json::Value v;
     const json::Value* stats = nullptr;
@@ -534,8 +568,7 @@ int main(int argc, char** argv) {
     std::string metrics_line;
     if (!client.send_line("{\"op\":\"metrics\"}") ||
         !client.recv_line(&metrics_line)) {
-      std::fprintf(stderr, "error: connection lost on metrics\n");
-      return 1;
+      return connection_lost("{\"op\":\"metrics\"}");
     }
     json::Value v;
     const json::Value* m = nullptr;

@@ -4,20 +4,37 @@
 //
 //   dyncg_serve [--port N] [--port-file PATH] [--queue-cap N]
 //               [--batch-cap N] [--cache-cap N] [--max-line BYTES]
-//               [--max-conns N] [--threads T] [--simd MODE]
-//               [--trace-out FILE] [--metrics-out FILE]
-//               [--metrics-interval SECONDS] [--list-ops]
+//               [--max-conns N] [--deadline-ms MS] [--drain-ms MS]
+//               [--stall-timeout-ms MS] [--max-out-buf BYTES]
+//               [--threads T] [--simd MODE] [--trace-out FILE]
+//               [--metrics-out FILE] [--metrics-interval SECONDS]
+//               [--list-ops]
 //
 // Options:
 //   --port N          TCP port; 0 (default) picks an ephemeral port
 //   --port-file PATH  write the resolved port here once listening — how
 //                     scripts find an ephemerally-bound server
-//   --queue-cap N     pending-request limit; excess lines are answered
-//                     UNAVAILABLE without being parsed       (default 1024)
+//   --queue-cap N     pending-request limit; at the cap the *oldest*
+//                     queued line is shed (answered UNAVAILABLE without
+//                     being parsed) to admit the new one     (default 1024)
 //   --batch-cap N     max requests processed per batch       (default 64)
 //   --cache-cap N     result-cache entries, 0 disables       (default 4096)
 //   --max-line BYTES  longest accepted request line          (default 1MiB)
 //   --max-conns N     concurrent connections                 (default 64)
+//   --deadline-ms MS  default per-request deadline budget, measured from
+//                     the line's arrival; a request's own "deadline_ms"
+//                     overrides it; expired work is answered
+//                     DEADLINE_EXCEEDED without running the engine;
+//                     0 disables                             (default 0)
+//   --drain-ms MS     graceful-drain budget after SIGTERM: queued work
+//                     that cannot finish in time is shed     (default 5000)
+//   --stall-timeout-ms MS
+//                     close connections with no read/write progress for
+//                     this long; 0 disables                  (default 60000)
+//   --max-out-buf BYTES
+//                     per-connection cap on buffered response bytes;
+//                     a reader that stops reading past the cap is
+//                     disconnected                           (default 4MiB)
 //   --threads T       host threads for batch compute (0 = all hardware
 //                     threads; overrides DYNCG_THREADS; default 1).  Never
 //                     changes any response byte — docs/PARALLELISM.md.
@@ -36,10 +53,12 @@
 //   --list-ops        print every protocol op name, one per line, and exit
 //                     (tools/dyncg_doc_check.sh scrapes this)
 //
-// SIGTERM / SIGINT stop the loop cleanly: buffered responses are flushed, a
-// counter summary goes to stderr, exit code 0.  SIGUSR1 write-and-clears
-// the trace file without stopping.  Exit 1 = socket/trace I/O error,
-// 2 = usage error.
+// SIGTERM starts a graceful drain (docs/SERVING.md#draining): stop
+// accepting, answer new lines UNAVAILABLE with "draining":true, finish or
+// shed queued work within --drain-ms, flush artifacts, exit 0.  SIGINT
+// stops immediately (flush what can be flushed without blocking, exit 0).
+// SIGUSR1 write-and-clears the trace file without stopping.  Exit
+// 1 = socket/trace I/O error, 2 = usage error.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -58,7 +77,11 @@ using namespace dyncg;
 
 serve::Server* g_server = nullptr;
 
-void on_signal(int) {
+void on_term(int) {
+  if (g_server != nullptr) g_server->request_drain();
+}
+
+void on_int(int) {
   if (g_server != nullptr) g_server->request_stop();
 }
 
@@ -70,7 +93,9 @@ void on_flush_signal(int) {
   std::fprintf(stderr,
                "usage: dyncg_serve [--port N] [--port-file PATH] "
                "[--queue-cap N] [--batch-cap N] [--cache-cap N] "
-               "[--max-line BYTES] [--max-conns N] [--threads T] "
+               "[--max-line BYTES] [--max-conns N] [--deadline-ms MS] "
+               "[--drain-ms MS] [--stall-timeout-ms MS] "
+               "[--max-out-buf BYTES] [--threads T] "
                "[--simd scalar|avx2|auto] [--trace-out FILE] "
                "[--metrics-out FILE] [--metrics-interval SECONDS] "
                "[--list-ops]\n");
@@ -157,6 +182,18 @@ int main(int argc, char** argv) {
     } else if (a == "--max-conns") {
       opt.max_conns = static_cast<std::size_t>(
           parse_long(a, next().c_str(), 1, 4096));
+    } else if (a == "--deadline-ms") {
+      opt.deadline_ms = static_cast<std::uint64_t>(
+          parse_long(a, next().c_str(), 0, 3600000));
+    } else if (a == "--drain-ms") {
+      opt.drain_ms = static_cast<std::uint64_t>(
+          parse_long(a, next().c_str(), 0, 3600000));
+    } else if (a == "--stall-timeout-ms") {
+      opt.stall_timeout_ms = static_cast<std::uint64_t>(
+          parse_long(a, next().c_str(), 0, 86400000));
+    } else if (a == "--max-out-buf") {
+      opt.max_out_buf = static_cast<std::size_t>(
+          parse_long(a, next().c_str(), 1024, 1 << 30));
     } else if (a == "--threads") {
       set_host_threads(
           static_cast<unsigned>(parse_long(a, next().c_str(), 0, 1024)));
@@ -187,8 +224,8 @@ int main(int argc, char** argv) {
 
   serve::Server server(opt);
   g_server = &server;
-  std::signal(SIGTERM, on_signal);
-  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_term);  // graceful drain
+  std::signal(SIGINT, on_int);    // immediate stop
   std::signal(SIGUSR1, on_flush_signal);
   std::signal(SIGPIPE, SIG_IGN);  // peer hangups surface as write errors
 
@@ -201,12 +238,15 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "dyncg_serve: shutdown after %llu requests "
                "(%llu hits, %llu misses, %llu evictions, %llu rejected, "
-               "%llu errors, %llu batches, %llu connections)\n",
+               "%llu shed, %llu deadline_exceeded, %llu errors, "
+               "%llu batches, %llu connections)\n",
                static_cast<unsigned long long>(s.requests),
                static_cast<unsigned long long>(s.hits),
                static_cast<unsigned long long>(s.misses),
                static_cast<unsigned long long>(s.evictions),
                static_cast<unsigned long long>(s.rejected),
+               static_cast<unsigned long long>(s.shed),
+               static_cast<unsigned long long>(s.deadline_exceeded),
                static_cast<unsigned long long>(s.errors),
                static_cast<unsigned long long>(s.batches),
                static_cast<unsigned long long>(s.connections));

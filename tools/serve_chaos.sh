@@ -1,0 +1,165 @@
+#!/bin/sh
+# Resilience gate (ctest: serve_chaos; docs/ROBUSTNESS.md#serving-resilience).
+# Three phases against real servers on ephemeral ports:
+#
+#   1. chaos — dyncg_chaos drives a tightly-capped server (queue cap 8,
+#      512-byte lines, 4 KiB output buffers, 500 ms deadlines, 2 s stall
+#      reaper) through a fixed-seed schedule of socket abuse.  The harness
+#      itself asserts no crash/deadlock, exactly one response per accepted
+#      request, oracle-identical bytes on every completed result, and the
+#      accounting identity requests == ok + errors + shed +
+#      deadline_exceeded.  The script additionally bounds the server's RSS
+#      and requires the shed and output-overflow defenses to have actually
+#      fired (a chaos run that never triggers them tests nothing).
+#
+#   2. exit-8 pin — dyncg_load pipelines several seconds of uncacheable
+#      work, the server is SIGINTed mid-stream, and the load client must
+#      exit with its pinned code 8 ("server closed the connection") and
+#      name the last unanswered request — the regression test for the old
+#      behaviour of dying silently with a generic I/O error.
+#
+#   3. drain under load — dyncg_load streams ~15 s of sequential queries at
+#      a fresh server; SIGTERM arrives at +1 s.  The server must report
+#      draining, finish within the drain budget, and exit 0; the client
+#      must fail attributably with exit 8 when the drained server closes
+#      its connection — never a crash, never exit 0 (the run was cut short
+#      by construction).  (The UNAVAILABLE {"draining":true} response is
+#      pinned deterministically by the in-process server tests; whether
+#      this client catches one here is a race against the drain finishing.)
+#
+#   serve_chaos.sh DYNCG_SERVE DYNCG_CHAOS DYNCG_LOAD
+set -e
+SERVE=$1
+CHAOS=$2
+LOAD=$3
+dir=$(mktemp -d)
+pid=
+cleanup() {
+  [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null
+  rm -rf "$dir"
+}
+trap cleanup EXIT
+
+wait_port() {
+  i=0
+  while [ ! -s "$1" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "serve_chaos: server never wrote $1" >&2; exit 1; }
+    sleep 0.1
+  done
+}
+
+counter() {  # counter FILE NAME -> value (0 when absent)
+  sed 's/},/}\n/g' "$1" | sed -n "s/.*\"name\":\"$2\"[^}]*\"value\":\([0-9]*\).*/\1/p"
+}
+
+# --- phase 1: fixed-seed chaos against a tightly-capped server --------------
+"$SERVE" --port-file "$dir/port" --queue-cap 8 --batch-cap 4 --max-line 512 \
+  --max-conns 32 --deadline-ms 500 --stall-timeout-ms 2000 \
+  --max-out-buf 4096 --cache-cap 16 --drain-ms 4000 \
+  --metrics-out "$dir/metrics.json" --metrics-interval 1 \
+  2> "$dir/serve1.log" &
+pid=$!
+wait_port "$dir/port"
+
+"$CHAOS" --port-file "$dir/port" --seed 20260809 --rounds 64 --max-line 512 \
+  --timeout-ms 60000 --oracle 2> "$dir/chaos.log" || {
+  cat "$dir/chaos.log" >&2
+  exit 1
+}
+
+# RSS bound: tight caps mean absorbing the abuse cannot cost unbounded
+# memory.  128 MiB is ~6x headroom over the ~20 MiB observed.
+rss_kb=$(awk '/VmRSS/ { print $2 }' "/proc/$pid/status")
+if [ -z "$rss_kb" ] || [ "$rss_kb" -ge 131072 ]; then
+  echo "serve_chaos: server RSS ${rss_kb:-?} kB exceeds the 131072 kB bound" >&2
+  exit 1
+fi
+
+kill -TERM "$pid"
+wait "$pid"   # set -e: drain must exit 0
+pid=
+
+# The run only counts if the defenses it is meant to exercise fired.
+shed=$(counter "$dir/metrics.json" serve.shed)
+overflow=$(counter "$dir/metrics.json" serve.conn.overflow)
+if [ -z "$shed" ] || [ "$shed" -eq 0 ]; then
+  echo "serve_chaos: chaos run never triggered load shedding" >&2
+  exit 1
+fi
+if [ -z "$overflow" ] || [ "$overflow" -eq 0 ]; then
+  echo "serve_chaos: chaos run never triggered the output-buffer cap" >&2
+  exit 1
+fi
+
+# --- phase 2: SIGINT mid-stream pins dyncg_load exit code 8 -----------------
+# 400 distinct-seed queries with the cache off is several seconds of
+# compute; SIGINT after 1 s is guaranteed to land mid-stream.
+awk 'BEGIN {
+  for (i = 1; i <= 400; i++)
+    printf "{\"op\":\"neighbor\",\"id\":%d,\"scenario\":{\"seed\":%d,\"n\":1024,\"k\":2}}\n", i, i
+}' > "$dir/burst"
+
+"$SERVE" --port-file "$dir/port2" --cache-cap 0 2> "$dir/serve2.log" &
+pid=$!
+wait_port "$dir/port2"
+
+rc=0
+"$LOAD" --port-file "$dir/port2" --send "$dir/burst" --pipeline \
+  > /dev/null 2> "$dir/load2.log" &
+load_pid=$!
+sleep 1
+kill -INT "$pid"
+wait "$pid"
+pid=
+wait "$load_pid" || rc=$?
+if [ "$rc" -ne 8 ]; then
+  cat "$dir/load2.log" >&2
+  echo "serve_chaos: expected dyncg_load exit 8 on server close, got $rc" >&2
+  exit 1
+fi
+grep -q "last unanswered request" "$dir/load2.log" || {
+  echo "serve_chaos: dyncg_load did not name the last unanswered request" >&2
+  exit 1
+}
+
+# --- phase 3: SIGTERM drain under live load ---------------------------------
+# Distinct seeds defeat the cache: ~15 s of sequential round trips, so
+# SIGTERM at +1 s is guaranteed to land mid-stream, with at most one
+# request in flight for the drain to finish.
+awk 'BEGIN {
+  for (i = 1; i <= 2000; i++)
+    printf "{\"op\":\"neighbor\",\"id\":%d,\"scenario\":{\"seed\":%d,\"n\":1024,\"k\":2}}\n", i, i
+}' > "$dir/burst3"
+
+"$SERVE" --port-file "$dir/port3" --drain-ms 5000 2> "$dir/serve3.log" &
+pid=$!
+wait_port "$dir/port3"
+
+rc=0
+"$LOAD" --port-file "$dir/port3" --send "$dir/burst3" \
+  > /dev/null 2> "$dir/load3.log" &
+load_pid=$!
+sleep 1
+t0=$(date +%s)
+kill -TERM "$pid"
+wait "$pid"   # set -e: the drain itself must exit 0
+pid=
+t1=$(date +%s)
+if [ $((t1 - t0)) -gt 8 ]; then
+  echo "serve_chaos: drain took $((t1 - t0)) s, over the 5 s budget + slack" >&2
+  exit 1
+fi
+grep -q "draining" "$dir/serve3.log" || {
+  echo "serve_chaos: server never reported draining" >&2
+  exit 1
+}
+wait "$load_pid" || rc=$?
+if [ "$rc" -ne 8 ]; then
+  cat "$dir/load3.log" >&2
+  echo "serve_chaos: expected dyncg_load exit 8 after the drain closed its"\
+    "connection, got $rc" >&2
+  exit 1
+fi
+
+echo "serve_chaos: ok"

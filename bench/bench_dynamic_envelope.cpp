@@ -1,0 +1,186 @@
+// Incremental envelope maintenance — update-vs-rebuild ledger cost
+// (docs/PERFORMANCE.md#incremental-envelope-maintenance).
+//
+// The claim this bench pins: once a fleet is resident in a DynamicEnvelope,
+// a single-member update (erase + insert, amortized over a churn burst)
+// costs >= 10x fewer simulated messages than the Theorem 3.2 from-scratch
+// rebuild at fleet size 256 and beyond, because the merge tree recombines
+// only the O(log n) root path of the touched leaf.  The sweep charges both
+// strategies on identically sized machines and the amortized figures land
+// in baseline/BENCH_dynamic_envelope.json, gated exactly by
+// dyncg_bench_diff --require (bench/CMakeLists.txt).
+//
+// The bench also re-checks the byte-identity contract in situ: after every
+// churn burst (and again after advancing through a few certificate
+// failures) the maintained envelope must equal canonical_rebuild over the
+// same live members byte for byte — a perf figure for a structure that has
+// drifted from its oracle would be meaningless.
+#include <map>
+#include <utility>
+
+#include "common.hpp"
+#include "envelope/dynamic_envelope.hpp"
+#include "envelope/parallel_envelope.hpp"
+#include "support/assert.hpp"
+
+namespace dyncg {
+namespace bench {
+namespace {
+
+// Same distribution as tests/test_dynamic_envelope.cpp: degree <= 4, small
+// integer coefficients, so aliasing and multi-crossing combines both occur.
+Polynomial random_score(Rng& rng) {
+  const int deg = static_cast<int>(rng.uniform_int(0, 4));
+  std::vector<double> c(static_cast<std::size_t>(deg) + 1);
+  for (double& x : c) x = static_cast<double>(rng.uniform_int(-6, 6));
+  if (c.back() == 0.0) c.back() = 1.0;
+  return Polynomial(std::move(c));
+}
+
+constexpr int kSBound = 4;
+constexpr int kChurn = 64;  // erase+insert cycles amortized per sweep point
+
+struct SweepPoint {
+  double rebuild_messages = 0;   // one Theorem 3.2 build, whole fleet
+  double update_messages = 0;    // one erase or insert, amortized
+  double update_rounds = 0;
+};
+
+// One sweep point: charge a from-scratch parallel_envelope build and an
+// amortized incremental update on machines of the same size, then verify
+// the churned structure (and its advanced successor) against the oracle.
+SweepPoint run_point(bool mesh, std::size_t n) {
+  Rng rng(31337 + n * 2 + (mesh ? 0 : 1));
+  std::vector<Polynomial> scores;
+  scores.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) scores.push_back(random_score(rng));
+
+  SweepPoint pt;
+  {
+    Machine m = mesh ? envelope_machine_mesh(n, kSBound)
+                     : envelope_machine_hypercube(n, kSBound);
+    PolyFamily fam(scores);
+    CostMeter meter(m.ledger());
+    parallel_envelope(m, fam, kSBound);
+    pt.rebuild_messages = static_cast<double>(meter.elapsed().messages);
+  }
+
+  Machine m = mesh ? envelope_machine_mesh(n, kSBound)
+                   : envelope_machine_hypercube(n, kSBound);
+  DynamicEnvelope env(true, kSBound, &m);
+  std::map<std::uint64_t, Polynomial> live;
+  for (std::size_t i = 0; i < n; ++i) {
+    env.insert(i, scores[i]);
+    live.emplace(i, scores[i]);
+  }
+
+  CostMeter meter(m.ledger());
+  for (int i = 0; i < kChurn; ++i) {
+    const std::uint64_t out = static_cast<std::uint64_t>(i);
+    const std::uint64_t in = n + static_cast<std::uint64_t>(i);
+    Polynomial fresh = random_score(rng);
+    env.erase(out);
+    env.insert(in, fresh);
+    live.erase(out);
+    live.emplace(in, std::move(fresh));
+  }
+  CostSnapshot churn = meter.elapsed();
+  pt.update_messages =
+      static_cast<double>(churn.messages) / (2.0 * kChurn);
+  pt.update_rounds = static_cast<double>(churn.rounds) / (2.0 * kChurn);
+
+  // Byte-identity against the from-scratch oracle, now and after advancing
+  // through a few certificate failures (perf without exactness is no perf).
+  auto check = [&]() {
+    DynamicEnvelope oracle = canonical_rebuild({live.begin(), live.end()},
+                                               env.now(), true, kSBound);
+    DYNCG_ASSERT(env.snapshot() == oracle.snapshot(),
+                 "churned envelope diverged from canonical_rebuild");
+  };
+  check();
+  for (int hops = 0; hops < 3 && env.next_event() < kInfinity; ++hops) {
+    env.advance(env.next_event() + 1.0 / 64.0);
+    check();
+  }
+  return pt;
+}
+
+void print_update_vs_rebuild() {
+  std::printf("=== Incremental envelope: update vs rebuild (simulated "
+              "messages) ===\n");
+  Row rb_mesh{"rebuild from scratch, mesh", {}, {}, "Theta(n) messages"};
+  Row up_mesh{"single update amortized, mesh", {}, {}, "O(polylog n)"};
+  Row rb_cube{"rebuild from scratch, hypercube", {}, {}, "Theta(n) messages"};
+  Row up_cube{"single update amortized, hypercube", {}, {}, "O(polylog n)"};
+  for (std::size_t n : {64u, 256u, 1024u}) {
+    for (bool mesh : {true, false}) {
+      SweepPoint pt = run_point(mesh, n);
+      Row& rb = mesh ? rb_mesh : rb_cube;
+      Row& up = mesh ? up_mesh : up_cube;
+      rb.n.push_back(static_cast<double>(n));
+      rb.rounds.push_back(pt.rebuild_messages);
+      up.n.push_back(static_cast<double>(n));
+      up.rounds.push_back(pt.update_messages);
+      std::printf("  n=%5zu %-9s rebuild %10.0f msg   update %8.1f msg "
+                  "(%6.1f rounds)   speedup %.1fx\n",
+                  n, mesh ? "mesh" : "hypercube", pt.rebuild_messages,
+                  pt.update_messages, pt.update_rounds,
+                  pt.rebuild_messages / pt.update_messages);
+      // The acceptance bound of the PR that introduced the structure: at
+      // fleet size >= 256 an amortized update must undercut the rebuild by
+      // >= 10x on both machines.
+      if (n >= 256) {
+        DYNCG_ASSERT(pt.rebuild_messages >= 10.0 * pt.update_messages,
+                     "amortized update lost its 10x margin over rebuild");
+      }
+    }
+  }
+  print_table("Incremental maintenance: amortized ledger messages",
+              {rb_mesh, up_mesh, rb_cube, up_cube});
+}
+
+// Wall time of the incremental structure itself (host-side; the simulated
+// figures above are the gated ones).  One iteration = one erase+insert
+// churn cycle against a resident fleet of state.range(1).
+void BM_FleetUpdate(benchmark::State& state) {
+  bool mesh = state.range(0) == 0;
+  std::size_t n = static_cast<std::size_t>(state.range(1));
+  Rng rng(4242 + n);
+  Machine m = mesh ? envelope_machine_mesh(n, kSBound)
+                   : envelope_machine_hypercube(n, kSBound);
+  DynamicEnvelope env(true, kSBound, &m);
+  for (std::size_t i = 0; i < n; ++i) env.insert(i, random_score(rng));
+  std::uint64_t next_id = n;
+  std::uint64_t victim = 0;
+  CostMeter meter(m.ledger());
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    env.erase(victim++);
+    env.insert(next_id++, random_score(rng));
+    ++cycles;
+  }
+  CostSnapshot spent = meter.elapsed();
+  state.counters["sim_messages_per_update"] =
+      cycles > 0 ? static_cast<double>(spent.messages) /
+                       (2.0 * static_cast<double>(cycles))
+                 : 0.0;
+  state.SetLabel(mesh ? "mesh" : "hypercube");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dyncg
+
+int main(int argc, char** argv) {
+  dyncg::bench::print_update_vs_rebuild();
+  for (long mesh = 0; mesh < 2; ++mesh) {
+    benchmark::RegisterBenchmark("DynamicEnvelope/update",
+                                 dyncg::bench::BM_FleetUpdate)
+        ->Args({mesh, 256})
+        ->Iterations(64)
+        ->Unit(benchmark::kMicrosecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -105,6 +105,24 @@ void append_canonical(std::string& out, const MotionSystem& system) {
   }
 }
 
+std::string trajectory_key(const Trajectory& t) {
+  std::string out;
+  out += 'd';
+  out += std::to_string(t.dimension());
+  for (std::size_t c = 0; c < t.dimension(); ++c) {
+    out += 'g';
+    out += std::to_string(t.coordinate(c).degree() + 1);
+    out += ':';
+    append_canonical(out, t.coordinate(c));
+  }
+  return out;
+}
+
+std::uint64_t trajectory_fingerprint(const Trajectory& t) {
+  const std::string key = trajectory_key(t);
+  return fingerprint_bytes(kFingerprintSeed, key.data(), key.size());
+}
+
 std::string fingerprint_hex(std::uint64_t h) {
   std::string out;
   append_hex(out, h);

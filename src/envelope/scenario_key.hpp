@@ -59,6 +59,17 @@ void append_canonical(std::string& out, const Polynomial& p);
 void append_canonical(std::string& out, const Trajectory& t);
 void append_canonical(std::string& out, const MotionSystem& system);
 
+// Per-trajectory canonical key, usable standalone (the whole-scenario forms
+// above are only unambiguous inside a fixed-dimension scenario string):
+// dimension prefix plus a `g<count>:` coefficient-count group before each
+// coordinate, so the key is self-delimiting and two trajectories share a
+// key iff every coefficient is bit-identical.  Fleet sessions dedupe
+// identical trajectory inserts on this key, and incremental-query cache
+// entries fold it into their fingerprints.
+std::string trajectory_key(const Trajectory& t);
+// The same identity as a compact 64-bit name (FNV-1a over the key bytes).
+std::uint64_t trajectory_fingerprint(const Trajectory& t);
+
 // "a1b2c3d4e5f60718" — the fingerprint as 16 lowercase hex digits, the form
 // responses and telemetry use to name a cache entry.
 std::string fingerprint_hex(std::uint64_t h);

@@ -175,6 +175,10 @@ StatusOr<CachedResult> run_query(const Request& req) {
     case Op::kPing:
     case Op::kMetrics:
     case Op::kFlushTrace:
+    case Op::kFleetOpen:    // fleet ops run in the server's sequential
+    case Op::kFleetUpdate:  // pass (serve/fleet.hpp), never the engine
+    case Op::kFleetQuery:
+    case Op::kFleetClose:
       return Status::invalid_argument("op carries no scenario to run");
   }
   out.cost = meter.elapsed();

@@ -49,6 +49,42 @@ bool to_index(const json::Value& v, std::uint64_t max, std::uint64_t* out) {
   return true;
 }
 
+// One trajectory in wire form: an array of 1..kMaxDimension coordinate
+// polynomials, each a non-empty array of at most kMaxDegree+1 finite
+// coefficients (constant term first) — the same shape as one entry of
+// scenario 'points'.  Shared by fleet 'ref' and fleet 'insert' points.
+Status parse_point(const json::Value& pt, const char* what,
+                   std::optional<Trajectory>* out) {
+  if (!pt.is_array() || pt.array.empty() ||
+      pt.array.size() > kMaxDimension) {
+    return bad(std::string(what) + " must be an array of 1.." +
+               std::to_string(kMaxDimension) +
+               " coordinate polynomials (arrays of coefficients)");
+  }
+  std::vector<Polynomial> coords;
+  coords.reserve(pt.array.size());
+  for (const json::Value& poly : pt.array) {
+    if (!poly.is_array() || poly.array.empty() ||
+        poly.array.size() > static_cast<std::size_t>(kMaxDegree) + 1) {
+      return bad(std::string(what) +
+                 " coordinates must be non-empty arrays of at most " +
+                 std::to_string(kMaxDegree + 1) +
+                 " coefficients (constant term first)");
+    }
+    std::vector<double> c;
+    c.reserve(poly.array.size());
+    for (const json::Value& coeff : poly.array) {
+      if (!coeff.is_number() || !std::isfinite(coeff.number)) {
+        return bad("polynomial coefficients must be finite numbers");
+      }
+      c.push_back(coeff.number);
+    }
+    coords.push_back(Polynomial(std::move(c)));
+  }
+  out->emplace(std::move(coords));
+  return Status::ok();
+}
+
 struct Scenario {
   bool inline_points = false;
   std::uint64_t seed = kDefaultSeed;
@@ -147,8 +183,76 @@ Status parse_scenario(const json::Value& v, Scenario* out) {
   return Status::ok();
 }
 
+// Which fleet fields the request carried (parse-time presence, so defaults
+// and explicit values are distinguishable in the admissibility checks).
+struct FleetFields {
+  bool fleet = false;
+  bool d = false;
+  bool k = false;
+  bool ref = false;
+  bool insert = false;
+  bool erase = false;
+  bool advance = false;
+  bool any() const { return fleet || d || k || ref || insert || erase ||
+                            advance; }
+};
+
 // op-specific field admissibility, applied after the full object is read.
-Status check_fields(const Request& r, bool has_scenario, bool has_query) {
+Status check_fields(const Request& r, bool has_scenario, bool has_query,
+                    bool has_machine, const FleetFields& ff) {
+  if (!is_fleet_op(r.op) && ff.any()) {
+    return bad(std::string("'") + op_name(r.op) +
+               "' takes no fleet fields "
+               "('fleet'/'d'/'k'/'ref'/'insert'/'erase'/'advance')");
+  }
+  if (is_fleet_op(r.op)) {
+    if (has_scenario || has_query || r.has_box || r.has_faults) {
+      return bad(std::string("'") + op_name(r.op) +
+                 "' takes no scenario/query/box/faults fields");
+    }
+    if (r.op == Op::kFleetOpen) {
+      if (ff.fleet) {
+        return bad("'fleet_open' names its own session — "
+                   "'fleet' is not valid");
+      }
+      if (ff.insert || ff.erase || ff.advance) {
+        return bad("'fleet_open' takes no 'insert'/'erase'/'advance' "
+                   "fields");
+      }
+      if (r.machine != "mesh" && r.machine != "hypercube") {
+        return bad("fleet sessions support machine \"mesh\" or "
+                   "\"hypercube\" only");
+      }
+      if (ff.ref && r.fleet_ref->dimension() != r.fleet_d) {
+        return bad("fleet 'ref' has " +
+                   std::to_string(r.fleet_ref->dimension()) +
+                   " coordinates but the session dimension is " +
+                   std::to_string(r.fleet_d));
+      }
+      if (ff.ref && r.fleet_ref->motion_degree() > r.fleet_k) {
+        return bad("fleet 'ref' motion degree exceeds the session's 'k'");
+      }
+    } else {
+      if (!ff.fleet) {
+        return bad(std::string("'") + op_name(r.op) +
+                   "' requires a 'fleet' session name");
+      }
+      if (has_machine || ff.d || ff.k || ff.ref) {
+        return bad("'machine'/'d'/'k'/'ref' are fixed at fleet_open");
+      }
+      if (r.op != Op::kFleetUpdate &&
+          (ff.insert || ff.erase || ff.advance)) {
+        return bad(std::string("'") + op_name(r.op) +
+                   "' takes no 'insert'/'erase'/'advance' fields");
+      }
+      if (r.op == Op::kFleetUpdate && !ff.insert && !ff.erase &&
+          !ff.advance) {
+        return bad("'fleet_update' needs at least one of "
+                   "'insert'/'erase'/'advance'");
+      }
+    }
+    return Status::ok();
+  }
   const bool geometry = !is_admin_op(r.op);
   if (!geometry) {
     if (has_scenario || has_query || r.has_box || r.has_faults) {
@@ -223,6 +327,14 @@ const char* op_name(Op op) {
       return "metrics";
     case Op::kFlushTrace:
       return "flush_trace";
+    case Op::kFleetOpen:
+      return "fleet_open";
+    case Op::kFleetUpdate:
+      return "fleet_update";
+    case Op::kFleetQuery:
+      return "fleet_query";
+    case Op::kFleetClose:
+      return "fleet_close";
   }
   return "?";
 }
@@ -242,6 +354,8 @@ StatusOr<Request> parse_request(const std::string& line) {
   bool has_op = false;
   bool has_scenario = false;
   bool has_query = false;
+  bool has_machine = false;
+  FleetFields ff;
   Scenario sc;
   for (const auto& [name, member] : root.object) {
     if (name == "op") {
@@ -278,6 +392,7 @@ StatusOr<Request> parse_request(const std::string& line) {
                    "\"shuffle\"");
       }
       r.machine = member.string;
+      has_machine = true;
     } else if (name == "query") {
       std::uint64_t x;
       if (!to_index(member, kMaxPoints - 1, &x)) {
@@ -320,15 +435,107 @@ StatusOr<Request> parse_request(const std::string& line) {
       r.faults = std::move(plan).value();
       r.faults_spec = r.faults.to_string();
       r.has_faults = true;
+    } else if (name == "fleet") {
+      if (!member.is_string() || member.string.empty()) {
+        return bad("'fleet' must be a non-empty session name string");
+      }
+      r.fleet = member.string;
+      ff.fleet = true;
+    } else if (name == "d") {
+      std::uint64_t x;
+      if (!to_index(member, kMaxDimension, &x) || x == 0) {
+        return bad("'d' must be an integer in [1, " +
+                   std::to_string(kMaxDimension) + "]");
+      }
+      r.fleet_d = static_cast<std::size_t>(x);
+      ff.d = true;
+    } else if (name == "k") {
+      std::uint64_t x;
+      if (!to_index(member, static_cast<std::uint64_t>(kMaxDegree), &x)) {
+        return bad("'k' must be an integer in [0, " +
+                   std::to_string(kMaxDegree) + "]");
+      }
+      r.fleet_k = static_cast<int>(x);
+      ff.k = true;
+    } else if (name == "ref") {
+      if (Status st = parse_point(member, "'ref'", &r.fleet_ref);
+          !st.is_ok()) {
+        return st;
+      }
+      ff.ref = true;
+    } else if (name == "insert") {
+      if (!member.is_array() || member.array.empty() ||
+          member.array.size() > kMaxPoints) {
+        return bad("'insert' must be a non-empty array of at most " +
+                   std::to_string(kMaxPoints) +
+                   " {\"id\", \"point\"} entries");
+      }
+      for (const json::Value& entry : member.array) {
+        if (!entry.is_object()) {
+          return bad("'insert' entries must be {\"id\", \"point\"} objects");
+        }
+        if (Status st = check_duplicate_members(entry, "insert entry");
+            !st.is_ok()) {
+          return st;
+        }
+        std::uint64_t id = 0;
+        bool has_id = false;
+        std::optional<Trajectory> point;
+        for (const auto& [ename, evalue] : entry.object) {
+          if (ename == "id") {
+            if (!to_index(evalue, std::uint64_t{1} << 53, &id)) {
+              return bad("insert 'id' must be an integer in [0, 2^53]");
+            }
+            has_id = true;
+          } else if (ename == "point") {
+            if (Status st = parse_point(evalue, "insert 'point'", &point);
+                !st.is_ok()) {
+              return st;
+            }
+          } else {
+            return bad("unknown insert entry field '" + ename + "'");
+          }
+        }
+        if (!has_id || !point.has_value()) {
+          return bad("'insert' entries need both \"id\" and \"point\"");
+        }
+        r.fleet_insert.emplace_back(id, std::move(*point));
+      }
+      ff.insert = true;
+    } else if (name == "erase") {
+      if (!member.is_array() || member.array.empty() ||
+          member.array.size() > kMaxPoints) {
+        return bad("'erase' must be a non-empty array of at most " +
+                   std::to_string(kMaxPoints) + " member ids");
+      }
+      for (const json::Value& idv : member.array) {
+        std::uint64_t id = 0;
+        if (!to_index(idv, std::uint64_t{1} << 53, &id)) {
+          return bad("'erase' ids must be integers in [0, 2^53]");
+        }
+        r.fleet_erase.push_back(id);
+      }
+      ff.erase = true;
+    } else if (name == "advance") {
+      if (!member.is_number() || !std::isfinite(member.number) ||
+          member.number < 0) {
+        return bad("'advance' must be a finite number >= 0");
+      }
+      r.fleet_advance = member.number;
+      r.fleet_has_advance = true;
+      ff.advance = true;
     } else {
       return bad("unknown request field '" + name + "'");
     }
   }
   if (!has_op) return bad("request has no 'op' field");
-  if (Status st = check_fields(r, has_scenario, has_query); !st.is_ok()) {
+  if (Status st = check_fields(r, has_scenario, has_query, has_machine, ff);
+      !st.is_ok()) {
     return st;
   }
-  if (is_admin_op(r.op)) return r;
+  // Fleet ops are stateful: they bypass the result cache (no key) and the
+  // session registry validates everything that needs session state.
+  if (is_admin_op(r.op) || is_fleet_op(r.op)) return r;
 
   // Materialize the scenario (absent scenario = CLI defaults).
   if (r.op == Op::kSteady) {
@@ -467,6 +674,8 @@ std::string render_stats(const std::string& id_json, const ServeStats& s) {
   w.value(s.evictions);
   w.key("entries");
   w.value(s.entries);
+  w.key("fleets");
+  w.value(s.fleets);
   w.end_object();
   w.end_object();
   return w.str();
@@ -482,6 +691,117 @@ std::string render_metrics(const std::string& id_json,
   w.value("metrics");
   w.key("metrics");
   w.value_raw(registry_json);
+  w.end_object();
+  return w.str();
+}
+
+namespace {
+
+// %.17g round-trips a double exactly through strtod, and renders infinity
+// as "inf" — which is why next_event travels as a string (JSON has no
+// infinity literal, and the envelope of a fleet whose leader never changes
+// legitimately has none coming).
+std::string exact_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void fleet_state_fields(json::Writer* w, std::uint64_t members, double t,
+                        double next_event) {
+  w->key("members");
+  w->value(members);
+  // Both times travel as exact strings (Writer::value(double) is %.12g,
+  // which is lossy; fleet clients mirror server state bit for bit).
+  w->key("t");
+  w->value(exact_double(t));
+  w->key("next_event");
+  w->value(exact_double(next_event));
+}
+
+}  // namespace
+
+std::string render_fleet_open(const std::string& id_json,
+                              const FleetOpenInfo& info) {
+  json::Writer w;
+  open_response(&w, id_json);
+  w.key("status");
+  w.value("OK");
+  w.key("op");
+  w.value("fleet_open");
+  w.key("fleet");
+  w.value(info.fleet);
+  w.key("d");
+  w.value(static_cast<std::uint64_t>(info.d));
+  w.key("k");
+  w.value(static_cast<std::uint64_t>(info.k));
+  w.key("max_members");
+  w.value(static_cast<std::uint64_t>(info.max_members));
+  w.key("result");
+  w.value("opened");
+  w.end_object();
+  return w.str();
+}
+
+std::string render_fleet_update(const std::string& id_json,
+                                const FleetUpdateInfo& info) {
+  json::Writer w;
+  open_response(&w, id_json);
+  w.key("status");
+  w.value("OK");
+  w.key("op");
+  w.value("fleet_update");
+  w.key("fleet");
+  w.value(info.fleet);
+  w.key("inserted");
+  w.value(info.inserted);
+  w.key("deduped");
+  w.value(info.deduped);
+  w.key("erased");
+  w.value(info.erased);
+  fleet_state_fields(&w, info.members, info.t, info.next_event);
+  w.key("cost");
+  w.value_raw(info.cost.to_json());
+  w.end_object();
+  return w.str();
+}
+
+std::string render_fleet_query(const std::string& id_json,
+                               const FleetQueryInfo& info) {
+  json::Writer w;
+  open_response(&w, id_json);
+  w.key("status");
+  w.value("OK");
+  w.key("op");
+  w.value("fleet_query");
+  w.key("fleet");
+  w.value(info.fleet);
+  w.key("key");
+  w.value(fingerprint_hex(info.fingerprint));
+  fleet_state_fields(&w, info.members, info.t, info.next_event);
+  w.key("cost");
+  w.value_raw(info.cost.to_json());
+  w.key("result");
+  w.value(info.result);
+  w.end_object();
+  return w.str();
+}
+
+std::string render_fleet_close(const std::string& id_json,
+                               const std::string& fleet,
+                               std::uint64_t members) {
+  json::Writer w;
+  open_response(&w, id_json);
+  w.key("status");
+  w.value("OK");
+  w.key("op");
+  w.value("fleet_close");
+  w.key("fleet");
+  w.value(fleet);
+  w.key("members");
+  w.value(members);
+  w.key("result");
+  w.value("closed");
   w.end_object();
   return w.str();
 }

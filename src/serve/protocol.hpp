@@ -38,27 +38,41 @@ enum class Op {
   kPing,        // liveness probe; no scenario
   kMetrics,     // admin: full metrics registry snapshot; no scenario
   kFlushTrace,  // admin: write-and-clear the trace buffer; no scenario
+  kFleetOpen,   // stateful fleet session: create (server names it)
+  kFleetUpdate, // batched inserts/erases + time advance on a session
+  kFleetQuery,  // render the session's maintained envelope
+  kFleetClose,  // destroy a session
 };
 const char* op_name(Op op);
 
 // Every protocol op, in enum order.  `dyncg_serve --list-ops` prints these
 // so tools/dyncg_doc_check.sh can verify docs/SERVING.md documents each.
 inline constexpr Op kAllOps[] = {
-    Op::kNeighbor, Op::kPairs,   Op::kCollisions, Op::kHullwhen, Op::kContain,
-    Op::kSteady,   Op::kStats,   Op::kPing,       Op::kMetrics,
-    Op::kFlushTrace,
+    Op::kNeighbor,   Op::kPairs,       Op::kCollisions, Op::kHullwhen,
+    Op::kContain,    Op::kSteady,      Op::kStats,      Op::kPing,
+    Op::kMetrics,    Op::kFlushTrace,  Op::kFleetOpen,  Op::kFleetUpdate,
+    Op::kFleetQuery, Op::kFleetClose,
 };
 
 // Version of the response surface, reported by the `stats` op.  Bumped when
 // a response schema gains or reorders fields (docs/SERVING.md#versioning).
-// v3 added the `shed` and `deadline_exceeded` stats counters.
-inline constexpr std::uint64_t kServeSchemaVersion = 3;
+// v3 added the `shed` and `deadline_exceeded` stats counters; v4 added the
+// fleet-session ops and the `fleets` stats counter.
+inline constexpr std::uint64_t kServeSchemaVersion = 4;
 
 // Ops that carry no scenario: liveness, stats, and admin requests.  They
 // never reach the engine or the cache.
 constexpr bool is_admin_op(Op op) {
   return op == Op::kPing || op == Op::kStats || op == Op::kMetrics ||
          op == Op::kFlushTrace;
+}
+
+// Stateful fleet-session ops (serve/fleet.hpp).  They carry fleet fields
+// instead of a scenario, mutate per-session state, and bypass the result
+// cache — Request.key stays empty for them.
+constexpr bool is_fleet_op(Op op) {
+  return op == Op::kFleetOpen || op == Op::kFleetUpdate ||
+         op == Op::kFleetQuery || op == Op::kFleetClose;
 }
 
 // Admission caps on scenario size, enforced at parse time so one request
@@ -97,6 +111,18 @@ struct Request {
   // fingerprint — the `key` field of responses.
   std::string key;
   std::uint64_t fingerprint = 0;
+  // Fleet-session fields (fleet_* ops only; serve/fleet.hpp validates the
+  // parts that need session state, e.g. point arity vs the session's
+  // dimension).  `fleet` is the session name: required for
+  // update/query/close, forbidden for open (the server names sessions).
+  std::string fleet;
+  std::size_t fleet_d = 2;              // fleet_open "d"
+  int fleet_k = 2;                      // fleet_open "k" (max motion degree)
+  std::optional<Trajectory> fleet_ref;  // fleet_open "ref" (default origin)
+  std::vector<std::pair<std::uint64_t, Trajectory>> fleet_insert;
+  std::vector<std::uint64_t> fleet_erase;
+  bool fleet_has_advance = false;
+  double fleet_advance = 0.0;
 };
 
 // Parse and validate one request line.  Error statuses map onto the repo's
@@ -131,6 +157,7 @@ struct ServeStats {
   std::uint64_t misses = 0;       // cache misses
   std::uint64_t evictions = 0;    // cache evictions (FIFO)
   std::uint64_t entries = 0;      // current cache size
+  std::uint64_t fleets = 0;       // currently open fleet sessions (v4)
 };
 
 // Response rendering (single line, no trailing newline).  Hit and miss
@@ -153,6 +180,45 @@ std::string render_metrics(const std::string& id_json,
 // `spans` = events written, `path` = the trace file they went to.
 std::string render_flush_trace(const std::string& id_json,
                                std::uint64_t spans, const std::string& path);
+
+// Fleet-session responses (serve/fleet.hpp fills these).  `t` and
+// `next_event` are rendered as %.17g strings ("inf" when the envelope
+// never changes again) so the values round-trip exactly and infinity stays
+// valid JSON; the counters are plain numbers.
+struct FleetOpenInfo {
+  std::string fleet;
+  std::size_t d = 2;
+  int k = 2;
+  std::size_t max_members = 0;
+};
+struct FleetUpdateInfo {
+  std::string fleet;
+  std::uint64_t inserted = 0;  // new leaves
+  std::uint64_t deduped = 0;   // aliased to an identical live member
+  std::uint64_t erased = 0;
+  std::uint64_t members = 0;   // live members after the update
+  double t = 0.0;
+  double next_event = 0.0;
+  CostSnapshot cost;           // simulated ledger delta of this update
+};
+struct FleetQueryInfo {
+  std::string fleet;
+  std::uint64_t fingerprint = 0;  // state fingerprint, the `key` field
+  std::uint64_t members = 0;
+  double t = 0.0;
+  double next_event = 0.0;
+  CostSnapshot cost;
+  std::string result;  // DynamicEnvelope::result_string()
+};
+std::string render_fleet_open(const std::string& id_json,
+                              const FleetOpenInfo& info);
+std::string render_fleet_update(const std::string& id_json,
+                                const FleetUpdateInfo& info);
+std::string render_fleet_query(const std::string& id_json,
+                               const FleetQueryInfo& info);
+std::string render_fleet_close(const std::string& id_json,
+                               const std::string& fleet,
+                               std::uint64_t members);
 
 }  // namespace serve
 }  // namespace dyncg

@@ -61,6 +61,7 @@ struct ServerMetrics {
   metrics::Gauge* connections_open;
   metrics::Gauge* cache_entries;
   metrics::Gauge* draining;
+  metrics::Gauge* fleets_open;
 
   ServerMetrics() {
     using metrics::Stability;
@@ -127,6 +128,10 @@ struct ServerMetrics {
     draining = &metrics::gauge(
         "serve.draining", "1 while a SIGTERM graceful drain is in progress.",
         Stability::kHostNoisy);
+    fleets_open = &metrics::gauge(
+        "serve.fleets.open",
+        "Currently open fleet sessions (serve/fleet.hpp).",
+        Stability::kDeterministic);
   }
 };
 
@@ -145,7 +150,8 @@ Server::Server(ServerOptions options)
     : opt_(std::move(options)),
       start_(std::chrono::steady_clock::now()),
       last_metrics_write_(start_),
-      cache_(opt_.cache_cap) {
+      cache_(opt_.cache_cap),
+      fleets_(FleetOptions{opt_.max_fleets, opt_.max_fleet_members}) {
   sm();  // register the serving metrics before the first scrape
 }
 
@@ -173,6 +179,7 @@ ServeStats Server::stats() const {
   s.misses = cache_.counters().misses;
   s.evictions = cache_.counters().evictions;
   s.entries = cache_.size();
+  s.fleets = fleets_.open_count();
   return s;
 }
 
@@ -471,7 +478,9 @@ void Server::process_batch() {
   for (const Item& item : items) {         // the addresses stable
     if (!item.req.is_ok() || item.expired) continue;
     const Request& r = item.req.value();
-    if (is_admin_op(r.op)) continue;
+    // Fleet ops mutate session state: handled sequentially in the replay
+    // pass, never fanned out, never cached.
+    if (is_admin_op(r.op) || is_fleet_op(r.op)) continue;
     if (cache_.contains(r.key)) continue;
     bool queued = false;
     for (const Request* q : to_compute) queued |= q->key == r.key;
@@ -527,6 +536,22 @@ void Server::process_batch() {
               render_error(r.id_json,
                            Status::deadline_exceeded(
                                "deadline budget expired before execution")));
+      continue;
+    }
+    if (is_fleet_op(r.op)) {
+      // Sequential by construction (this pass runs in arrival order), so
+      // session state — like cache counters — is a pure function of the
+      // request sequence.
+      StatusOr<std::string> resp = fleets_.handle(r);
+      if (resp.is_ok()) {
+        respond(item.conn, resp.value());
+        sm().responses_ok->add();
+      } else {
+        ++errors_;
+        respond(item.conn, render_error(r.id_json, resp.status()));
+        sm().responses_error->add();
+      }
+      sm().fleets_open->set(static_cast<std::int64_t>(fleets_.open_count()));
       continue;
     }
     if (r.op == Op::kPing) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "serve/cache.hpp"
+#include "serve/fleet.hpp"
 #include "serve/protocol.hpp"
 #include "support/status.hpp"
 
@@ -82,6 +83,11 @@ struct ServerOptions {
   // bound).  Also applied as the socket's SO_SNDBUF so kernel-side
   // buffering stays within the same order of magnitude.
   std::size_t max_out_buf = std::size_t{4} << 20;
+  // Fleet-session admission (serve/fleet.hpp): open-session and per-session
+  // member caps.  Members bound a session's memory — the merge tree and the
+  // simulated machine are both sized from max_fleet_members at open.
+  std::size_t max_fleets = 16;
+  std::size_t max_fleet_members = 1024;
 };
 
 class Server {
@@ -162,6 +168,7 @@ class Server {
   std::vector<Connection> conns_;
   std::vector<Pending> pending_;
   ResultCache cache_;
+  FleetRegistry fleets_;
   std::uint64_t connections_ = 0;
   std::uint64_t requests_ = 0;
   std::uint64_t errors_ = 0;

@@ -26,8 +26,10 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   if (r.is_ok()) {
     const dyncg::serve::Request& req = r.value();
     // The key must be renderable and consistent with its fingerprint for
-    // any accepted request (admin ops carry neither).
-    if (!dyncg::serve::is_admin_op(req.op) && req.key.empty()) {
+    // any accepted request (admin ops carry neither; fleet ops are stateful
+    // session traffic and bypass the cache, so they carry no key either).
+    if (!dyncg::serve::is_admin_op(req.op) &&
+        !dyncg::serve::is_fleet_op(req.op) && req.key.empty()) {
       __builtin_trap();
     }
     volatile std::size_t sink = req.key.size() + req.id_json.size();

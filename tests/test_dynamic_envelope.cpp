@@ -1,0 +1,305 @@
+// Incremental envelope maintenance suite (docs/PERFORMANCE.md
+// #incremental-envelope-maintenance).
+//
+// The correctness contract of DynamicEnvelope is byte-identity: after ANY
+// stream of insert/erase/advance operations, the maintained envelope must
+// equal the from-scratch oracle (canonical_rebuild over the live members at
+// the current time) byte for byte — same snapshot bytes, same rendered
+// result, same fingerprint.  The randomized-stream tests drive that
+// contract across seeds, fleet sizes, and op mixes; the suite runs in the
+// DYNCG_THREADS=1/4 ctest matrix (the structure is single-threaded but its
+// pooled combine scratch is per-thread, so thread count must not matter).
+//
+// Also here: the PiecePool high-watermark guard (satellite of the same PR —
+// 10k update iterations must not grow the pool), and the amortized-ledger
+// bound the bench gate pins (single-member update >= 10x cheaper in
+// messages than a Theorem 3.2 rebuild at fleet size 256).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "envelope/dynamic_envelope.hpp"
+#include "envelope/parallel_envelope.hpp"
+#include "pieces/envelope_serial.hpp"
+#include "pieces/piecewise.hpp"
+#include "poly/polynomial.hpp"
+#include "support/rng.hpp"
+
+namespace dyncg {
+namespace {
+
+// Random score polynomial of degree <= 4 with small integer coefficients —
+// small range on purpose, so streams exercise the score-identity aliasing
+// path with realistic frequency.
+Polynomial random_score(Rng& rng) {
+  const int deg = static_cast<int>(rng.uniform_int(0, 4));
+  std::vector<double> c(static_cast<std::size_t>(deg) + 1);
+  for (double& x : c) x = static_cast<double>(rng.uniform_int(-6, 6));
+  if (c.back() == 0.0) c.back() = 1.0;
+  return Polynomial(std::move(c));
+}
+
+// Mirror of the live member set, the oracle's input.
+using Members = std::map<std::uint64_t, Polynomial>;
+
+std::vector<std::pair<std::uint64_t, Polynomial>> to_vector(
+    const Members& m) {
+  return {m.begin(), m.end()};
+}
+
+void expect_matches_oracle(DynamicEnvelope& env, const Members& live,
+                           const char* where) {
+  DynamicEnvelope oracle = canonical_rebuild(to_vector(live), env.now());
+  EXPECT_EQ(env.snapshot(), oracle.snapshot()) << where;
+  EXPECT_EQ(env.result_string(), oracle.result_string()) << where;
+  EXPECT_EQ(env.state_fingerprint(), oracle.state_fingerprint()) << where;
+}
+
+// The envelope's winner at each piece midpoint must actually attain the
+// minimum over the live members (semantic check, independent of the
+// byte-level oracle, which shares code with the structure under test).
+void expect_pointwise_minimal(DynamicEnvelope& env, const Members& live) {
+  const PiecewiseFn& e = env.envelope();
+  for (const Piece& pc : e.pieces) {
+    const double hi = std::isinf(pc.iv.hi) ? pc.iv.lo + 1.0 : pc.iv.hi;
+    const double t = 0.5 * (pc.iv.lo + hi);
+    const double winner = live.at(env.external_id(pc.id))(t);
+    for (const auto& [id, poly] : live) {
+      EXPECT_LE(winner, poly(t) + 1e-9)
+          << "member " << id << " beats the envelope at t=" << t;
+    }
+  }
+}
+
+// --- Randomized update streams vs the from-scratch oracle ------------------
+
+TEST(DynamicEnvelopeStream, ByteIdenticalToOracleAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(0x5eed0000 + seed);
+    DynamicEnvelope env;
+    Members live;
+    std::uint64_t next_id = 0;
+    for (int step = 0; step < 300; ++step) {
+      const std::uint64_t dice = rng.uniform_int(0, 99);
+      if (dice < 50 || live.empty()) {
+        Polynomial p = random_score(rng);
+        const std::uint64_t id = next_id++;
+        const DynamicEnvelope::InsertOutcome out = env.insert(id, p);
+        ASSERT_NE(out, DynamicEnvelope::InsertOutcome::kDuplicateId);
+        live.emplace(id, std::move(p));
+      } else if (dice < 75) {
+        auto it = live.begin();
+        std::advance(it, static_cast<long>(rng.uniform_int(
+                             0, static_cast<std::uint64_t>(live.size()) - 1)));
+        ASSERT_TRUE(env.erase(it->first));
+        live.erase(it);
+      } else {
+        ASSERT_TRUE(env.advance(env.now() + rng.uniform(0.01, 0.5)));
+      }
+      if (step % 10 == 9 || step == 299) {
+        expect_matches_oracle(env, live,
+                              ("seed " + std::to_string(seed) + " step " +
+                               std::to_string(step))
+                                  .c_str());
+      }
+    }
+    expect_pointwise_minimal(env, live);
+  }
+}
+
+TEST(DynamicEnvelopeStream, InsertOnlyGrowthMatchesOracleEveryStep) {
+  Rng rng(1234);
+  DynamicEnvelope env;
+  Members live;
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    Polynomial p = random_score(rng);
+    env.insert(id, p);
+    live.emplace(id, std::move(p));
+    // Every step crosses several grow() boundaries (1, 2, 4, ... leaves).
+    expect_matches_oracle(env, live, "insert-only growth");
+  }
+  expect_pointwise_minimal(env, live);
+}
+
+TEST(DynamicEnvelopeStream, DrainToEmptyAndRefill) {
+  Rng rng(77);
+  DynamicEnvelope env;
+  Members live;
+  for (std::uint64_t id = 0; id < 16; ++id) {
+    Polynomial p = random_score(rng);
+    env.insert(id, p);
+    live.emplace(id, std::move(p));
+  }
+  env.advance(1.25);
+  for (std::uint64_t id = 0; id < 16; ++id) {
+    ASSERT_TRUE(env.erase(id));
+    live.erase(id);
+    expect_matches_oracle(env, live, "drain");
+  }
+  EXPECT_TRUE(env.envelope().empty());
+  EXPECT_EQ(env.next_event(), kInfinity);
+  for (std::uint64_t id = 100; id < 116; ++id) {
+    Polynomial p = random_score(rng);
+    env.insert(id, p);
+    live.emplace(id, std::move(p));
+  }
+  expect_matches_oracle(env, live, "refill");
+}
+
+TEST(DynamicEnvelopeStream, AdvanceThroughEveryCertificateFailure) {
+  Rng rng(4242);
+  DynamicEnvelope env;
+  Members live;
+  for (std::uint64_t id = 0; id < 24; ++id) {
+    Polynomial p = random_score(rng);
+    env.insert(id, p);
+    live.emplace(id, std::move(p));
+  }
+  // Walk time breakpoint by breakpoint: advancing exactly to next_event()
+  // expires the leading piece (certificate failure) each round.
+  for (int hop = 0; hop < 50; ++hop) {
+    const double ev = env.next_event();
+    if (std::isinf(ev)) break;
+    ASSERT_TRUE(env.advance(ev));
+    expect_matches_oracle(env, live, "certificate hop");
+  }
+}
+
+// --- Update semantics ------------------------------------------------------
+
+TEST(DynamicEnvelopeUpdates, DuplicateIdRejectedWithoutStateChange) {
+  DynamicEnvelope env;
+  EXPECT_EQ(env.insert(7, Polynomial({1.0, 2.0})),
+            DynamicEnvelope::InsertOutcome::kInserted);
+  const std::uint64_t before = env.state_fingerprint();
+  const DynamicEnvelopeStats stats_before = env.stats();
+  EXPECT_EQ(env.insert(7, Polynomial({3.0})),
+            DynamicEnvelope::InsertOutcome::kDuplicateId);
+  EXPECT_EQ(env.state_fingerprint(), before);
+  EXPECT_EQ(env.stats().inserts, stats_before.inserts);
+  EXPECT_EQ(env.member_count(), 1u);
+}
+
+TEST(DynamicEnvelopeUpdates, IdenticalScoresAliasToOneLeaf) {
+  DynamicEnvelope env;
+  EXPECT_EQ(env.insert(3, Polynomial({1.0, -1.0})),
+            DynamicEnvelope::InsertOutcome::kInserted);
+  const DynamicEnvelopeStats after_first = env.stats();
+  EXPECT_EQ(env.insert(9, Polynomial({1.0, -1.0})),
+            DynamicEnvelope::InsertOutcome::kAliased);
+  // Aliasing does no tree work at all.
+  EXPECT_EQ(env.stats().recombines, after_first.recombines);
+  EXPECT_EQ(env.member_count(), 2u);
+  // The smallest aliased id is the canonical rendered name.
+  EXPECT_NE(env.result_string().find("E3"), std::string::npos);
+  // Erasing the canonical alias hands the name to the survivor; the
+  // envelope geometry is unchanged.
+  EXPECT_TRUE(env.erase(3));
+  EXPECT_EQ(env.member_count(), 1u);
+  EXPECT_NE(env.result_string().find("E9"), std::string::npos);
+  Members live;
+  live.emplace(9, Polynomial({1.0, -1.0}));
+  expect_matches_oracle(env, live, "alias survivor");
+}
+
+TEST(DynamicEnvelopeUpdates, EraseUnknownAndBackwardAdvanceRejected) {
+  DynamicEnvelope env;
+  env.insert(1, Polynomial({2.0}));
+  EXPECT_FALSE(env.erase(99));
+  ASSERT_TRUE(env.advance(2.0));
+  EXPECT_FALSE(env.advance(1.0));
+  EXPECT_FALSE(env.advance(std::nan("")));
+  EXPECT_EQ(env.now(), 2.0);
+  EXPECT_TRUE(env.advance(2.0));  // no-op advance to the same time is fine
+}
+
+TEST(DynamicEnvelopeUpdates, StatsCountEveryMutation) {
+  DynamicEnvelope env;
+  env.insert(1, Polynomial({0.0, 1.0}));
+  env.insert(2, Polynomial({4.0, -1.0}));
+  env.erase(1);
+  EXPECT_EQ(env.stats().inserts, 2u);
+  EXPECT_EQ(env.stats().erases, 1u);
+  EXPECT_GE(env.stats().recombines, 1u);
+  EXPECT_GE(env.stats().nodes_touched, env.stats().recombines);
+}
+
+// --- PiecePool high-watermark under sustained churn ------------------------
+
+TEST(DynamicEnvelopePool, HighWatermarkBoundedOver10kUpdates) {
+  Rng rng(9001);
+  DynamicEnvelope env;
+  Members live;
+  std::uint64_t next_id = 0;
+  for (std::uint64_t id = 0; id < 32; ++id) {
+    Polynomial p = random_score(rng);
+    env.insert(next_id, p);
+    live.emplace(next_id, std::move(p));
+    ++next_id;
+  }
+  auto churn = [&](int iterations) {
+    for (int i = 0; i < iterations; ++i) {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.uniform_int(
+                           0, static_cast<std::uint64_t>(live.size()) - 1)));
+      env.erase(it->first);
+      live.erase(it);
+      Polynomial p = random_score(rng);
+      env.insert(next_id, p);
+      live.emplace(next_id, std::move(p));
+      ++next_id;
+    }
+  };
+  // Warm up to the steady-state footprint, record the pool's free-list
+  // high-watermark, then run an order of magnitude more updates: every
+  // combine/trim acquires and releases in balance, so the pool must not
+  // keep growing.
+  churn(1000);
+  const std::size_t warm = thread_piece_pool().free_pieces.size();
+  churn(9000);
+  const std::size_t after = thread_piece_pool().free_pieces.size();
+  EXPECT_LE(after, warm + 4) << "piece pool grew under steady churn";
+  expect_matches_oracle(env, live, "post-churn");
+}
+
+// --- Amortized ledger cost vs from-scratch rebuild -------------------------
+
+TEST(DynamicEnvelopeLedger, UpdateTenTimesCheaperThanRebuildAt256) {
+  const std::size_t n = 256;
+  const int s = 4;
+  Rng rng(31337);
+  std::vector<Polynomial> scores;
+  scores.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) scores.push_back(random_score(rng));
+
+  // Rebuild comparator: Theorem 3.2 on its canonical mesh.
+  Machine rebuild_m = envelope_machine_mesh(n, s);
+  PolyFamily fam(scores);
+  parallel_envelope(rebuild_m, fam, s);
+  const CostSnapshot rebuild = rebuild_m.ledger().snapshot();
+
+  // Incremental structure carrying the same fleet on its own machine.
+  Machine update_m = envelope_machine_mesh(n, s);
+  DynamicEnvelope env(true, s, &update_m);
+  for (std::size_t i = 0; i < n; ++i) env.insert(i, scores[i]);
+  const CostSnapshot built = update_m.ledger().snapshot();
+  const int kUpdates = 64;
+  for (int i = 0; i < kUpdates; ++i) {
+    env.erase(static_cast<std::uint64_t>(i));
+    env.insert(n + static_cast<std::uint64_t>(i), random_score(rng));
+  }
+  const CostSnapshot updates = update_m.ledger().snapshot() - built;
+  const double per_update =
+      static_cast<double>(updates.messages) / (2.0 * kUpdates);
+  EXPECT_GE(static_cast<double>(rebuild.messages), 10.0 * per_update)
+      << "amortized update messages " << per_update << " vs rebuild "
+      << rebuild.messages;
+}
+
+}  // namespace
+}  // namespace dyncg

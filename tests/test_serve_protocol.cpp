@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "envelope/scenario_key.hpp"
+#include "pieces/interval.hpp"
 #include "serve/cache.hpp"
 #include "serve/engine.hpp"
 #include "serve/protocol.hpp"
@@ -258,22 +259,172 @@ TEST(ServeParse, DeadlineBudgetAcceptedAndExcludedFromKey) {
   EXPECT_EQ(plain.fingerprint, budgeted.fingerprint);
 }
 
+// --- fleet sessions ----------------------------------------------------------
+
+TEST(ServeParse, FleetOpenDefaultsAndForms) {
+  // Fleet ops are stateful session traffic: they parse to a request with no
+  // scenario and no cache key (the server routes them by name, not key).
+  Request open = parse("{\"op\":\"fleet_open\"}").value();
+  EXPECT_EQ(open.op, Op::kFleetOpen);
+  EXPECT_TRUE(is_fleet_op(open.op));
+  EXPECT_TRUE(open.key.empty());
+  EXPECT_EQ(open.fleet_d, 2u);  // defaults mirror scenario defaults
+  EXPECT_EQ(open.fleet_k, 2);
+  EXPECT_EQ(open.machine, "mesh");
+  EXPECT_FALSE(open.fleet_ref.has_value());
+  Request full =
+      parse("{\"op\":\"fleet_open\",\"d\":3,\"k\":1,"
+            "\"machine\":\"hypercube\",\"ref\":[[1,2],[0],[5]]}")
+          .value();
+  EXPECT_EQ(full.fleet_d, 3u);
+  EXPECT_EQ(full.fleet_k, 1);
+  EXPECT_EQ(full.machine, "hypercube");
+  ASSERT_TRUE(full.fleet_ref.has_value());
+  EXPECT_EQ(full.fleet_ref->dimension(), 3u);
+  EXPECT_EQ(full.fleet_ref->coordinate(0).coefficient(1), 2.0);
+}
+
+TEST(ServeParse, FleetUpdateForms) {
+  Request r =
+      parse("{\"op\":\"fleet_update\",\"fleet\":\"fleet-1\","
+            "\"insert\":[{\"id\":7,\"point\":[[0,1],[2]]}],"
+            "\"erase\":[3,4],\"advance\":2.5}")
+          .value();
+  EXPECT_EQ(r.op, Op::kFleetUpdate);
+  EXPECT_EQ(r.fleet, "fleet-1");
+  ASSERT_EQ(r.fleet_insert.size(), 1u);
+  EXPECT_EQ(r.fleet_insert[0].first, 7u);
+  EXPECT_EQ(r.fleet_insert[0].second.dimension(), 2u);
+  EXPECT_EQ(r.fleet_erase, (std::vector<std::uint64_t>{3, 4}));
+  EXPECT_TRUE(r.fleet_has_advance);
+  EXPECT_EQ(r.fleet_advance, 2.5);
+  // Each of the three mutation fields stands alone.
+  EXPECT_TRUE(parse("{\"op\":\"fleet_update\",\"fleet\":\"f\",\"erase\":[1]}")
+                  .is_ok());
+  EXPECT_TRUE(parse("{\"op\":\"fleet_update\",\"fleet\":\"f\",\"advance\":0}")
+                  .is_ok());
+  Request q = parse("{\"op\":\"fleet_query\",\"fleet\":\"f\"}").value();
+  EXPECT_TRUE(q.key.empty());
+  EXPECT_EQ(q.fleet, "f");
+}
+
+TEST(ServeParse, FleetRejections) {
+  struct RejectCase {
+    const char* name;
+    const char* line;
+  };
+  const RejectCase kCases[] = {
+      {"fleet field on a non-fleet op",
+       "{\"op\":\"ping\",\"fleet\":\"f\"}"},
+      {"scenario on a fleet op",
+       "{\"op\":\"fleet_query\",\"fleet\":\"f\",\"scenario\":{}}"},
+      {"open names its own session",
+       "{\"op\":\"fleet_open\",\"fleet\":\"f\"}"},
+      {"open on a non-envelope machine",
+       "{\"op\":\"fleet_open\",\"machine\":\"ccc\"}"},
+      {"ref arity disagrees with d",
+       "{\"op\":\"fleet_open\",\"d\":3,\"ref\":[[1],[2]]}"},
+      {"ref motion degree above k",
+       "{\"op\":\"fleet_open\",\"d\":1,\"k\":1,\"ref\":[[1,1,1]]}"},
+      {"update without a session name",
+       "{\"op\":\"fleet_update\",\"erase\":[1]}"},
+      {"update with nothing to do",
+       "{\"op\":\"fleet_update\",\"fleet\":\"f\"}"},
+      {"query carrying update fields",
+       "{\"op\":\"fleet_query\",\"fleet\":\"f\",\"erase\":[1]}"},
+      {"open carrying update fields",
+       "{\"op\":\"fleet_open\",\"advance\":1}"},
+      {"d/k/ref outside open",
+       "{\"op\":\"fleet_update\",\"fleet\":\"f\",\"erase\":[1],\"d\":2}"},
+      {"empty insert array",
+       "{\"op\":\"fleet_update\",\"fleet\":\"f\",\"insert\":[]}"},
+      {"insert entry missing its point",
+       "{\"op\":\"fleet_update\",\"fleet\":\"f\",\"insert\":[{\"id\":1}]}"},
+      {"insert entry with a stray member",
+       "{\"op\":\"fleet_update\",\"fleet\":\"f\","
+       "\"insert\":[{\"id\":1,\"point\":[[1]],\"zz\":1}]}"},
+      {"fractional member id",
+       "{\"op\":\"fleet_update\",\"fleet\":\"f\","
+       "\"insert\":[{\"id\":1.5,\"point\":[[1]]}]}"},
+      {"non-finite insert coefficient",
+       "{\"op\":\"fleet_update\",\"fleet\":\"f\","
+       "\"insert\":[{\"id\":1,\"point\":[[1e999]]}]}"},
+      {"negative advance",
+       "{\"op\":\"fleet_update\",\"fleet\":\"f\",\"advance\":-1}"},
+      {"string advance",
+       "{\"op\":\"fleet_update\",\"fleet\":\"f\",\"advance\":\"3\"}"},
+      {"empty session name",
+       "{\"op\":\"fleet_query\",\"fleet\":\"\"}"},
+  };
+  for (const RejectCase& c : kCases) {
+    StatusOr<Request> r = parse(c.line);
+    ASSERT_FALSE(r.is_ok()) << c.name << ": accepted " << c.line;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << c.name;
+  }
+}
+
+TEST(ServeRender, FleetResponsesExactForm) {
+  FleetOpenInfo open;
+  open.fleet = "fleet-1";
+  open.d = 3;
+  open.k = 1;
+  open.max_members = 64;
+  EXPECT_EQ(render_fleet_open("", open),
+            "{\"status\":\"OK\",\"op\":\"fleet_open\",\"fleet\":\"fleet-1\","
+            "\"d\":3,\"k\":1,\"max_members\":64,\"result\":\"opened\"}");
+  // t / next_event are %.17g strings: exact round-trip, and "inf" (a
+  // drained envelope that never changes again) stays valid JSON.
+  FleetUpdateInfo up;
+  up.fleet = "fleet-1";
+  up.inserted = 2;
+  up.deduped = 1;
+  up.erased = 0;
+  up.members = 3;
+  up.t = 0.1;  // not representable: %.12g would round it to "0.1"
+  up.next_event = kInfinity;
+  std::string line = render_fleet_update("\"u\"", up);
+  EXPECT_NE(line.find("\"id\":\"u\""), std::string::npos);
+  EXPECT_NE(line.find("\"t\":\"0.10000000000000001\""), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"next_event\":\"inf\""), std::string::npos);
+  EXPECT_NE(line.find("\"inserted\":2,\"deduped\":1,\"erased\":0"),
+            std::string::npos);
+  FleetQueryInfo q;
+  q.fleet = "fleet-1";
+  q.fingerprint = kFingerprintSeed;
+  q.members = 3;
+  q.t = 1.0;
+  q.next_event = 2.0;
+  q.result = "min envelope of 3 at t=1: E1 on [1, inf); \n";
+  std::string qline = render_fleet_query("", q);
+  EXPECT_NE(qline.find("\"key\":\"cbf29ce484222325\""), std::string::npos);
+  // The embedded result newline must be escaped — responses are one line.
+  EXPECT_EQ(qline.find('\n'), std::string::npos);
+  EXPECT_EQ(render_fleet_close("7", "fleet-1", 3),
+            "{\"id\":7,\"status\":\"OK\",\"op\":\"fleet_close\","
+            "\"fleet\":\"fleet-1\",\"members\":3,\"result\":\"closed\"}");
+}
+
 // --- response rendering ------------------------------------------------------
 
-TEST(ServeRender, StatsV3PinnedFieldOrder) {
+TEST(ServeRender, StatsV4PinnedFieldOrder) {
   // Schema v3 inserted "shed" and "deadline_exceeded" between "rejected"
-  // and "batches"; the order is part of the contract
-  // (docs/SERVING.md#the-stats-op).
+  // and "batches"; v4 appended "fleets" after "entries".  The order is
+  // part of the contract (docs/SERVING.md#the-stats-op).
   ServeStats s;
   s.rejected = 2;
   s.shed = 3;
   s.deadline_exceeded = 4;
   s.batches = 5;
+  s.entries = 6;
+  s.fleets = 7;
   std::string line = render_stats("", s);
-  EXPECT_NE(line.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(line.find("\"schema_version\":4"), std::string::npos);
   EXPECT_NE(line.find("\"rejected\":2,\"shed\":3,"
                       "\"deadline_exceeded\":4,\"batches\":5"),
             std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"entries\":6,\"fleets\":7"), std::string::npos)
       << line;
 }
 

@@ -12,6 +12,10 @@
 #include <thread>
 #include <vector>
 
+#include "dyncg/motion.hpp"
+#include "envelope/dynamic_envelope.hpp"
+#include "envelope/scenario_key.hpp"
+#include "serve/fleet.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "support/json.hpp"
@@ -351,6 +355,169 @@ TEST(ServeDrain, BudgetExpiryShedsRemainingWork) {
   EXPECT_GT(shed, 0) << "a 150 ms budget cannot fit ~1.5 s of work";
   Status st = ts.join();
   EXPECT_TRUE(st.is_ok()) << st.to_string();
+}
+
+// --- fleet sessions ----------------------------------------------------------
+
+std::string field_of(const std::string& response, const std::string& key) {
+  json::Value v;
+  if (!json::parse(response, &v)) return "<unparseable>";
+  const json::Value* x = v.find(key);
+  if (x == nullptr) return "<missing>";
+  if (x->is_string()) return x->string;
+  if (x->is_number()) return std::to_string(x->number);
+  return "<wrong-type>";
+}
+
+TEST(ServeFleet, LifecycleMatchesOracleAndStatsTrackSessions) {
+  ServerOptions opt;
+  TestServer ts(opt);
+  Client c(ts.port());
+
+  std::string open = c.round_trip(
+      "{\"op\":\"fleet_open\",\"d\":2,\"k\":1}");
+  ASSERT_EQ(status_of(open), "OK") << open;
+  EXPECT_NE(open.find("\"fleet\":\"fleet-1\""), std::string::npos) << open;
+  EXPECT_EQ(stat_counter(c, "fleets"), 1u);
+
+  std::string update = c.round_trip(
+      "{\"op\":\"fleet_update\",\"fleet\":\"fleet-1\",\"insert\":["
+      "{\"id\":5,\"point\":[[4,-1],[0]]},"
+      "{\"id\":2,\"point\":[[0,1],[3]]}],\"advance\":1.5}");
+  ASSERT_EQ(status_of(update), "OK") << update;
+  EXPECT_NE(update.find("\"inserted\":2"), std::string::npos) << update;
+  EXPECT_NE(update.find("\"t\":\"1.5\""), std::string::npos) << update;
+
+  // The served envelope must be byte-identical to the from-scratch oracle
+  // over the same member set — the correctness contract of the maintained
+  // merge tree, checked here through the full wire path.
+  const Trajectory ref = fleet_origin(2);
+  std::vector<std::pair<std::uint64_t, Polynomial>> members;
+  members.emplace_back(
+      5, fleet_score(
+             Trajectory({Polynomial({4.0, -1.0}), Polynomial({0.0})}), ref));
+  members.emplace_back(
+      2, fleet_score(
+             Trajectory({Polynomial({0.0, 1.0}), Polynomial({3.0})}), ref));
+  DynamicEnvelope oracle =
+      canonical_rebuild(members, 1.5, /*take_min=*/true, fleet_s_bound(1));
+  std::string query =
+      c.round_trip("{\"op\":\"fleet_query\",\"fleet\":\"fleet-1\"}");
+  ASSERT_EQ(status_of(query), "OK") << query;
+  EXPECT_EQ(field_of(query, "result"), oracle.result_string()) << query;
+  EXPECT_EQ(field_of(query, "key"),
+            fingerprint_hex(oracle.state_fingerprint()));
+
+  std::string closed =
+      c.round_trip("{\"op\":\"fleet_close\",\"fleet\":\"fleet-1\"}");
+  ASSERT_EQ(status_of(closed), "OK") << closed;
+  EXPECT_EQ(stat_counter(c, "fleets"), 0u);
+  // The name is retired with the session.
+  EXPECT_EQ(status_of(c.round_trip(
+                "{\"op\":\"fleet_query\",\"fleet\":\"fleet-1\"}")),
+            "INVALID_ARGUMENT");
+}
+
+TEST(ServeFleet, AdmissionCapsSessionsAndMembers) {
+  ServerOptions opt;
+  opt.max_fleets = 1;
+  opt.max_fleet_members = 2;
+  TestServer ts(opt);
+  Client c(ts.port());
+
+  ASSERT_EQ(status_of(c.round_trip("{\"op\":\"fleet_open\"}")), "OK");
+  std::string refused = c.round_trip("{\"op\":\"fleet_open\"}");
+  EXPECT_EQ(status_of(refused), "UNAVAILABLE") << refused;
+
+  // Two members fit; a batch that would reach three is refused whole, and
+  // an erase+insert in one batch stays within the cap.
+  ASSERT_EQ(status_of(c.round_trip(
+                "{\"op\":\"fleet_update\",\"fleet\":\"fleet-1\",\"insert\":["
+                "{\"id\":1,\"point\":[[1],[0]]},"
+                "{\"id\":2,\"point\":[[2],[0]]}]}")),
+            "OK");
+  std::string over = c.round_trip(
+      "{\"op\":\"fleet_update\",\"fleet\":\"fleet-1\",\"insert\":["
+      "{\"id\":3,\"point\":[[3],[0]]}]}");
+  EXPECT_EQ(status_of(over), "UNAVAILABLE") << over;
+  std::string swap = c.round_trip(
+      "{\"op\":\"fleet_update\",\"fleet\":\"fleet-1\",\"erase\":[1],"
+      "\"insert\":[{\"id\":3,\"point\":[[3],[0]]}]}");
+  EXPECT_EQ(status_of(swap), "OK") << swap;
+  EXPECT_NE(swap.find("\"members\":2"), std::string::npos) << swap;
+
+  // Closing the only session frees its slot for a new open.
+  ASSERT_EQ(status_of(c.round_trip(
+                "{\"op\":\"fleet_close\",\"fleet\":\"fleet-1\"}")),
+            "OK");
+  std::string reopened = c.round_trip("{\"op\":\"fleet_open\"}");
+  EXPECT_EQ(status_of(reopened), "OK");
+  // Session names are never reused within a server's lifetime.
+  EXPECT_NE(reopened.find("\"fleet\":\"fleet-2\""), std::string::npos)
+      << reopened;
+}
+
+TEST(ServeFleet, RejectedUpdateLeavesSessionUntouched) {
+  ServerOptions opt;
+  TestServer ts(opt);
+  Client c(ts.port());
+
+  ASSERT_EQ(status_of(c.round_trip("{\"op\":\"fleet_open\",\"k\":1}")), "OK");
+  ASSERT_EQ(status_of(c.round_trip(
+                "{\"op\":\"fleet_update\",\"fleet\":\"fleet-1\",\"insert\":["
+                "{\"id\":1,\"point\":[[1],[0]]}],\"advance\":2}")),
+            "OK");
+  const std::string before =
+      c.round_trip("{\"op\":\"fleet_query\",\"fleet\":\"fleet-1\"}");
+
+  // Each rejected batch carries one bad op alongside a valid insert; the
+  // valid part must not land (validate-all-then-apply).
+  const char* bad_updates[] = {
+      // erase of an unknown member
+      "{\"op\":\"fleet_update\",\"fleet\":\"fleet-1\",\"insert\":["
+      "{\"id\":9,\"point\":[[9],[0]]}],\"erase\":[404]}",
+      // duplicate member id
+      "{\"op\":\"fleet_update\",\"fleet\":\"fleet-1\",\"insert\":["
+      "{\"id\":9,\"point\":[[9],[0]]},{\"id\":1,\"point\":[[8],[0]]}]}",
+      // insert above the session's motion degree
+      "{\"op\":\"fleet_update\",\"fleet\":\"fleet-1\",\"insert\":["
+      "{\"id\":9,\"point\":[[9],[0]]},{\"id\":8,\"point\":[[1,1,1],[0]]}]}",
+      // time moving backwards
+      "{\"op\":\"fleet_update\",\"fleet\":\"fleet-1\",\"insert\":["
+      "{\"id\":9,\"point\":[[9],[0]]}],\"advance\":1}",
+      // wrong arity for the session dimension
+      "{\"op\":\"fleet_update\",\"fleet\":\"fleet-1\",\"insert\":["
+      "{\"id\":9,\"point\":[[9]]}]}",
+  };
+  for (const char* line : bad_updates) {
+    EXPECT_EQ(status_of(c.round_trip(line)), "INVALID_ARGUMENT") << line;
+    EXPECT_EQ(c.round_trip("{\"op\":\"fleet_query\",\"fleet\":\"fleet-1\"}"),
+              before)
+        << "session changed by rejected update: " << line;
+  }
+}
+
+TEST(ServeFleet, PipelinedBurstKeepsArrivalOrder) {
+  // Fleet ops ride the same batch replay as everything else: a single
+  // write containing open/update/query/close interleaved with pings is
+  // answered strictly in arrival order.
+  ServerOptions opt;
+  TestServer ts(opt);
+  Client c(ts.port());
+  std::string burst;
+  burst += "{\"op\":\"fleet_open\",\"id\":1}\n";
+  burst += "{\"op\":\"ping\",\"id\":2}\n";
+  burst +=
+      "{\"op\":\"fleet_update\",\"id\":3,\"fleet\":\"fleet-1\","
+      "\"insert\":[{\"id\":1,\"point\":[[1],[1]]}]}\n";
+  burst += "{\"op\":\"fleet_query\",\"id\":4,\"fleet\":\"fleet-1\"}\n";
+  burst += "{\"op\":\"fleet_close\",\"id\":5,\"fleet\":\"fleet-1\"}\n";
+  ASSERT_TRUE(c.send_raw(burst));
+  for (int i = 1; i <= 5; ++i) {
+    std::string r = c.recv_line();
+    EXPECT_EQ(status_of(r), "OK") << r;
+    EXPECT_NE(r.find("\"id\":" + std::to_string(i)), std::string::npos) << r;
+  }
 }
 
 // --- slow-client defenses ----------------------------------------------------

